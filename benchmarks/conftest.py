@@ -1,0 +1,33 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one paper table/figure through the experiment
+harness, records its runtime with pytest-benchmark, saves the result JSON
+under ``benchmarks/results/`` and asserts the headline shape.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_experiment():
+    """Run an experiment once under the benchmark timer, save + print it."""
+
+    def runner(benchmark, experiment_fn, **kwargs):
+        result = benchmark.pedantic(
+            lambda: experiment_fn(**kwargs), rounds=1, iterations=1
+        )
+        result.save_json(RESULTS_DIR)
+        print()
+        print(result.report())
+        return result
+
+    return runner

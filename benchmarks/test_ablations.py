@@ -1,0 +1,60 @@
+"""Ablation benches for the design choices DESIGN.md calls out."""
+
+from repro.bench.ablation_cache import run as ablation_cache
+from repro.bench.ablation_parallelism import run_cache_sweep, run_k_sweep
+from repro.bench.ablation_sampler import run as ablation_sampler
+
+
+def test_ablation_sampler(benchmark, record_experiment):
+    """Streaming WRS wins on the FPGA; table methods hold on the CPU."""
+    result = record_experiment(benchmark, ablation_sampler)
+    for row in result.rows:
+        assert row["fpga_wrs_over_table"] > 1.5, row
+        # CPU-side PWRS is no silver bullet (paper Section 3.2).
+        assert row["cpu_itx_over_pwrs"] < 1.5, row
+
+
+def test_ablation_cache_policies(benchmark, record_experiment):
+    """Degree-aware beats every recency policy; reordering needs prework."""
+    result = record_experiment(benchmark, ablation_cache)
+    by_policy = {row["policy"]: row for row in result.rows}
+    dac = by_policy["degree-aware"]["hit_ratio"]
+    for recency in ("direct-mapped", "lru", "fifo"):
+        assert dac > by_policy[recency]["hit_ratio"], recency
+    reorder = by_policy["degree-reorder+pin"]
+    assert reorder["preprocessing_s"] > 0.0
+    assert reorder["hit_ratio"] >= dac  # the offline upper bound
+
+
+def test_ablation_k_sweep(benchmark, record_experiment):
+    """Sampler binds at small k; memory binds from moderate k on."""
+    result = record_experiment(benchmark, run_k_sweep)
+    assert result.rows[0]["bottleneck"] == "sampler"
+    assert result.rows[-1]["bottleneck"] == "memory"
+    speedups = [row["speedup_vs_k1"] for row in result.rows]
+    assert max(speedups) > 2.0
+    # Returns flatten once memory binds.
+    assert speedups[-1] < speedups[-2] * 1.2
+
+
+def test_ablation_cache_size(benchmark, record_experiment):
+    """Hit ratio is monotone in capacity; kernel time monotone down."""
+    result = record_experiment(benchmark, run_cache_sweep)
+    hits = [row["hit_ratio"] for row in result.rows]
+    cycles = [row["kernel_cycles"] for row in result.rows]
+    assert all(a <= b + 1e-9 for a, b in zip(hits, hits[1:]))
+    assert all(a >= b for a, b in zip(cycles, cycles[1:]))
+
+
+def test_ablation_design_space(benchmark, record_experiment):
+    """The Pareto frontier prefers dynamic bursts and full channel use."""
+    from repro.bench.ablation_dse import run as ablation_dse
+
+    result = record_experiment(benchmark, ablation_dse)
+    assert result.rows, "frontier must be non-empty"
+    for row in result.rows:
+        assert row["fits"]
+    # The fastest frontier point uses all four channels and dynamic bursts.
+    fastest = max(result.rows, key=lambda r: float(r["steps_per_s"]))
+    assert "x4" in fastest["config"]
+    assert "b1+b0" not in fastest["config"]

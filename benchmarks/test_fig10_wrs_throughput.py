@@ -1,0 +1,28 @@
+"""Figure 10 — WRS Sampler throughput vs parallelism and stream length."""
+
+import pytest
+
+from repro.bench.fig10_wrs_throughput import run_parallelism, run_stream_lengths
+
+
+def test_fig10a_parallelism(benchmark, record_experiment):
+    result = record_experiment(benchmark, run_parallelism)
+    rates = [float(row["measured_items_per_s"]) for row in result.rows]
+    ks = [row["k"] for row in result.rows]
+    # Linear until k = 16 (channel saturation), flat afterwards.
+    for i in range(len(ks) - 1):
+        if ks[i + 1] <= 16:
+            assert rates[i + 1] == pytest.approx(
+                rates[i] * ks[i + 1] / ks[i], rel=0.15
+            )
+    saturated = [r for k, r in zip(ks, rates) if k >= 16]
+    assert max(saturated) == pytest.approx(min(saturated), rel=0.01)
+
+
+def test_fig10b_stream_lengths(benchmark, record_experiment):
+    result = record_experiment(benchmark, run_stream_lengths)
+    fractions = [row["fraction_of_peak"] for row in result.rows]
+    # Monotone ramp to peak; short streams only slightly below.
+    assert fractions == sorted(fractions)
+    assert fractions[0] > 0.5
+    assert fractions[-1] == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,19 @@
+"""Figure 11 — degree-aware cache vs direct-mapped cache miss ratios."""
+
+from repro.bench.fig11_cache_miss import run
+
+
+def test_fig11_cache_miss(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    cache_bits = 12
+    for row in result.rows:
+        scale = int(row["vertices"].split("^")[1])
+        if scale <= cache_bits:
+            # Everything fits: only cold misses remain.
+            assert row["dac_miss_ratio"] < 0.15, row
+        else:
+            # Beyond capacity the degree-aware policy wins clearly.
+            assert row["dac_miss_ratio"] < row["dmc_miss_ratio"], row
+    largest = result.rows[-1]
+    assert largest["dmc_miss_ratio"] > 0.9  # DMC approaches 100 %
+    assert largest["dac_miss_ratio"] < largest["dmc_miss_ratio"] - 0.05

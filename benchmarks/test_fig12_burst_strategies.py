@@ -1,0 +1,14 @@
+"""Figure 12 — dynamic burst strategies vs the b1+b0 baseline."""
+
+from repro.bench.fig12_burst_strategies import run
+
+
+def test_fig12_burst_strategies(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    for row in result.rows:
+        # The paper's winner delivers a clear speedup over short-only...
+        assert row["b1+b32"] > 1.4, row
+        # ...and tiny long bursts are the worst strategy (engine overhead
+        # not amortized).
+        assert row["b1+b2"] < 1.0, row
+        assert row["b1+b2"] == min(v for k, v in row.items() if k != "graph"), row

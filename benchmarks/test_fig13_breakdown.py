@@ -1,0 +1,18 @@
+"""Figure 13 — ablation breakdown of WRS, DYB and DAC."""
+
+from repro.bench.fig13_breakdown import run
+
+
+def test_fig13_breakdown(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    for row in result.rows:
+        # WRS (pipelined streaming sampling) contributes the most: the
+        # paper reports losing 41-79% without it.
+        assert 0.2 < row["w/o WRS"] < 0.7, row
+        # DAC is the smallest contributor (single-digit percent).
+        assert row["w/o DAC"] > 0.9, row
+        assert row["w/o WRS"] < row["w/o DAC"], row
+    # DYB helps MetaPath more than Node2Vec (paper Section 6.4).
+    metapath = [r["w/o DYB"] for r in result.rows if r["app"] == "MetaPath"]
+    node2vec = [r["w/o DYB"] for r in result.rows if r["app"] == "Node2Vec"]
+    assert sum(metapath) / len(metapath) < sum(node2vec) / len(node2vec)

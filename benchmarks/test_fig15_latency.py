@@ -1,0 +1,20 @@
+"""Figure 15 — query latency distributions: LightRW lower and tighter."""
+
+from repro.bench.fig15_latency import run
+
+
+def test_fig15_latency(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    by_key = {(r["graph"], r["app"], r["system"]): r for r in result.rows}
+    for (graph, app, system), row in by_key.items():
+        if system != "LightRW":
+            continue
+        thunder = by_key[(graph, app, "ThunderRW")]
+        # LightRW's median latency is lower...
+        assert row["median_us"] < thunder["median_us"], (graph, app)
+        # ...and its interquartile spread is tighter relative to the median.
+        light_iqr = (row["q3_us"] - row["q1_us"]) / max(row["median_us"], 1e-9)
+        thunder_iqr = (thunder["q3_us"] - thunder["q1_us"]) / max(
+            thunder["median_us"], 1e-9
+        )
+        assert light_iqr <= thunder_iqr * 1.5, (graph, app)

@@ -1,0 +1,19 @@
+"""Figure 16 — throughput vs number of queries."""
+
+import pytest
+
+from repro.bench.fig16_query_count import run
+
+
+def test_fig16_query_count(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    for app in ("MetaPath", "Node2Vec"):
+        rows = [r for r in result.rows if r["app"] == app]
+        light = [float(r["lightrw_steps_per_s"]) for r in rows]
+        speedups = [r["speedup"] for r in rows]
+        # LightRW throughput is nearly constant across query counts.
+        assert max(light) / min(light) < 1.6, (app, light)
+        # ThunderRW's constant initialization craters small batches: the
+        # speedup is largest at the smallest batch (paper: up to 75x).
+        assert speedups[0] == max(speedups), (app, speedups)
+        assert speedups[0] > 3 * speedups[-1], (app, speedups)

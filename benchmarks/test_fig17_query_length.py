@@ -1,0 +1,17 @@
+"""Figure 17 — throughput vs query length: stable advantage."""
+
+from repro.bench.fig17_query_length import run
+
+
+def test_fig17_query_length(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    for app in ("MetaPath", "Node2Vec"):
+        rows = [r for r in result.rows if r["app"] == app]
+        speedups = [r["speedup"] for r in rows]
+        light = [float(r["lightrw_steps_per_s"]) for r in rows]
+        # Both systems deliver roughly constant throughput, so the
+        # speedup band is narrow across lengths 10-80 (paper: ~10x
+        # MetaPath, 8.3-9.3x Node2Vec).
+        assert max(speedups) / min(speedups) < 1.7, (app, speedups)
+        assert max(light) / min(light) < 1.7, (app, light)
+        assert min(speedups) > 1.5, (app, speedups)

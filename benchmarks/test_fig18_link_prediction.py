@@ -1,0 +1,17 @@
+"""Figure 18 — link prediction case study time breakdown."""
+
+from repro.bench.fig18_link_prediction import run
+
+
+def test_fig18_link_prediction(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    snap = {k: float(v) for k, v in result.rows[0].items() if k != "deployment"}
+    accelerated = {k: float(v) for k, v in result.rows[1].items() if k != "deployment"}
+    # The Node2Vec walk dominates plain SNAP's pipeline.
+    assert snap["walk"] == max(snap["walk"], snap["learning"], snap["scoring"])
+    # Accelerating the walk shrinks end-to-end time substantially (paper:
+    # roughly halved).
+    speedup = snap["total"] / accelerated["total"]
+    assert 1.3 < speedup < 4.0, speedup
+    # Transfer is negligible relative to the total (paper Section 6.7).
+    assert accelerated["transfer"] < 0.05 * accelerated["total"]

@@ -1,0 +1,17 @@
+"""Figure 6 — DRAM bandwidth rises with burst length; valid-data ratio falls."""
+
+import pytest
+
+from repro.bench.fig06_burst_bandwidth import run
+
+
+def test_fig6_burst_bandwidth(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    bandwidths = [row["bandwidth_gbps"] for row in result.rows]
+    ratios = [row["valid_data_ratio"] for row in result.rows]
+    assert bandwidths == sorted(bandwidths)
+    assert ratios == sorted(ratios, reverse=True)
+    # The measured peak of the paper's platform.
+    assert bandwidths[-1] == pytest.approx(17.57, rel=0.01)
+    # Short bursts leave most of the bandwidth unused.
+    assert bandwidths[0] < 0.25 * bandwidths[-1]

@@ -1,0 +1,87 @@
+"""Future-work studies (paper Section 8), modeled."""
+
+from repro.bench.future_work import run_distributed, run_hbm
+
+
+def test_future_distributed(benchmark, record_experiment):
+    result = record_experiment(benchmark, run_distributed)
+    hash_rows = [row for row in result.rows if row["partitioner"] == "hash"]
+    speedups = [row["speedup"] for row in hash_rows]
+    fractions = [row["migration_fraction"] for row in hash_rows]
+    # Scaling helps but sub-linearly: walker migration loads the network.
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 1.5
+    assert speedups[-1] < hash_rows[-1]["boards"] * 0.8
+    assert fractions == sorted(fractions)
+    # The locality-aware partitioner migrates less than hash at the same
+    # board count and is at least as fast.
+    boards = hash_rows[-1]["boards"]
+    greedy = next(r for r in result.rows if r["partitioner"].startswith("greedy"))
+    assert greedy["migration_fraction"] < hash_rows[-1]["migration_fraction"]
+    assert greedy["speedup"] >= hash_rows[-1]["speedup"] * 0.95
+
+
+def test_future_hbm(benchmark, record_experiment):
+    result = record_experiment(benchmark, run_hbm)
+    for row in result.rows:
+        u250 = float(row["U250 (4x DDR4)"])
+        hbm16 = float(row["U280 (16x HBM)"])
+        hbm32 = float(row["U280 (32x HBM)"])
+        assert hbm16 > u250, row
+        assert hbm32 > hbm16, row
+
+
+def test_energy_extended(benchmark, record_experiment):
+    from repro.bench.energy_capacity import run_energy
+
+    result = record_experiment(benchmark, run_energy)
+    for row in result.rows:
+        assert row["lightrw_nj_per_step"] < row["thunderrw_nj_per_step"], row
+        assert row["energy_improvement"] > 3.0, row
+        # EDP compounds the speedup on top of the energy win.
+        assert row["edp_improvement"] > row["energy_improvement"], row
+
+
+def test_future_capacity(benchmark, record_experiment):
+    from repro.bench.energy_capacity import run_capacity
+
+    result = record_experiment(benchmark, run_capacity)
+    by_graph = {row["graph"]: row for row in result.rows}
+    assert by_graph["livejournal (paper scale)"]["replication"] == "per-channel"
+    assert by_graph["uk2002 (paper scale)"]["boards"] == 1
+    terabyte = by_graph["terabyte-scale"]
+    assert terabyte["replication"] == "partitioned"
+    assert terabyte["boards"] >= 30
+
+
+def test_realtime_serving(benchmark, record_experiment):
+    """Section 6.5.2's real-time claim under open-loop load."""
+    from repro.bench.realtime import run as realtime
+
+    result = record_experiment(benchmark, realtime)
+    by_system = {}
+    for row in result.rows:
+        by_system.setdefault(row["system"], []).append(row)
+    light = by_system["LightRW"]
+    thunder = by_system["ThunderRW"]
+    # At every load level LightRW responds faster...
+    for l_row, t_row in zip(light, thunder):
+        assert l_row["mean_response_us"] < t_row["mean_response_us"]
+        assert l_row["p99_response_us"] < t_row["p99_response_us"]
+    # ...and it sustains a much higher arrival rate at the same load.
+    assert float(light[-1]["arrival_qps"]) > 3 * float(thunder[-1]["arrival_qps"])
+    # Its curve is flatter: relative growth from 10% to 90% load.
+    light_growth = light[-1]["mean_response_us"] / light[0]["mean_response_us"]
+    thunder_growth = thunder[-1]["mean_response_us"] / thunder[0]["mean_response_us"]
+    assert light_growth <= thunder_growth * 1.25
+
+
+def test_roofline(benchmark, record_experiment):
+    """Every GDRW workload is memory-bound, left of the ridge point."""
+    from repro.bench.roofline_bench import run as roofline
+
+    result = record_experiment(benchmark, roofline)
+    for row in result.rows:
+        assert row["bound"] == "memory", row
+        efficiency = float(row["efficiency"].rstrip("%"))
+        assert 5.0 < efficiency <= 105.0, row

@@ -1,0 +1,15 @@
+"""Table 1 — ThunderRW top-down profile (LLC miss / memory bound / retiring)."""
+
+from repro.bench.table1_cpu_profile import run
+
+
+def test_table1_cpu_profile(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    for row in result.rows:
+        miss = float(row["llc_miss"].rstrip("%"))
+        memory_bound = float(row["memory_bound"].rstrip("%"))
+        retiring = float(row["retiring"].rstrip("%"))
+        # Paper bands: LLC miss 58-77%, memory bound 31-60%, retiring 8-34%.
+        assert 40.0 <= miss <= 95.0, row
+        assert 25.0 <= memory_bound <= 75.0, row
+        assert 5.0 <= retiring <= 45.0, row

@@ -1,0 +1,11 @@
+"""Table 2 — dataset inventory: the stand-ins match the originals' shape."""
+
+from repro.bench.table2_datasets import run
+
+
+def test_table2_datasets(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    assert len(result.rows) == 5
+    for row in result.rows:
+        # Average degree preserved within 35%.
+        assert abs(row["standin_D"] - row["paper_D"]) / row["paper_D"] < 0.35, row

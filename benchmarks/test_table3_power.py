@@ -1,0 +1,17 @@
+"""Table 3 — power efficiency improvement."""
+
+from repro.bench.table3_power import run
+
+
+def test_table3_power(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    for row in result.rows:
+        low, high = (
+            float(part.rstrip("x")) for part in row["efficiency_improvement"].split("~")
+        )
+        # Paper: 15-26x (MetaPath), 16-24x (Node2Vec).  Our modeled band
+        # tracks the modeled speedups, so allow a wider envelope while
+        # requiring a clear order-of-magnitude efficiency win at the top.
+        assert low > 3.0, row
+        assert high > 12.0, row
+        assert high < 60.0, row

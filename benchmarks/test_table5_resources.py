@@ -1,0 +1,19 @@
+"""Table 5 — FPGA resource utilization of the two builds."""
+
+import pytest
+
+from repro.bench.table5_resources import run
+
+
+def test_table5_resources(benchmark, record_experiment):
+    result = record_experiment(benchmark, run)
+    for row in result.rows:
+        for column in ("LUTs", "REGs", "BRAMs", "DSPs"):
+            ours = float(row[column].split("%")[0])
+            paper = float(row[column].split("paper ")[1].rstrip(")%"))
+            assert ours == pytest.approx(paper, abs=1.0), (row["app"], column)
+    metapath, node2vec = result.rows
+    # The paper's contrast: MetaPath's build is logic-heavy, Node2Vec's is
+    # BRAM-heavy (the previous-stream membership buffer).
+    assert float(metapath["LUTs"].split("%")[0]) > float(node2vec["LUTs"].split("%")[0])
+    assert float(node2vec["BRAMs"].split("%")[0]) > float(metapath["BRAMs"].split("%")[0])

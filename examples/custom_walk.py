@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Extending LightRW with a custom GDRW: a degree-penalized walk.
+
+The accelerator's Weight Updater is application-specific hardware; in this
+library any :class:`~repro.walks.base.WalkAlgorithm` subclass plays that
+role.  This example defines a walk that penalizes hubs
+(``w^t = w* / deg(b)^beta`` — a load-balancing walk used in crawling),
+validates its sampling distribution against the exact law with the
+built-in chi-square tooling, and runs it on the modeled accelerator.
+
+Usage:  python examples/custom_walk.py
+"""
+
+import numpy as np
+
+from repro import LightRW, load_dataset
+from repro.walks.base import StepContext, WalkAlgorithm
+from repro.walks.validation import (
+    chi_square_step_test,
+    empirical_step_distribution,
+    exact_step_distribution,
+)
+
+
+class DegreePenalizedWalk(WalkAlgorithm):
+    """``w^t(a, b) = w*(a, b) / deg(b)^beta`` — hub-avoiding exploration."""
+
+    name = "degree-penalized"
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta < 0:
+            raise ValueError(f"beta must be non-negative, got {beta}")
+        self.beta = beta
+
+    def dynamic_weights(self, ctx: StepContext) -> np.ndarray:
+        destination_degrees = ctx.graph.degrees[ctx.dst].astype(np.float64)
+        penalty = np.maximum(destination_degrees, 1.0) ** self.beta
+        return ctx.static_weights / penalty
+
+
+def main() -> None:
+    graph = load_dataset("youtube", scale_divisor=512)
+    print(f"graph: {graph}")
+    walk = DegreePenalizedWalk(beta=1.0)
+
+    # 1. Validate the sampler against the exact transition law.
+    hub = int(np.argmax(graph.degrees))
+    samples = empirical_step_distribution(graph, walk, hub, n_samples=4000, seed=3)
+    statistic, p_value = chi_square_step_test(graph, walk, hub, samples)
+    print(f"\nchi-square of sampled steps vs exact law at the top hub "
+          f"(degree {graph.degree(hub)}): p = {p_value:.3f}")
+
+    # 2. Run it on the accelerator like any built-in walk.
+    engine = LightRW(graph, hardware_scale=512, seed=3)
+    result = engine.run(walk, n_steps=30, max_sampled_queries=512)
+    print(f"ran {result.num_queries} queries: "
+          f"{result.steps_per_second:.3g} steps/s modeled")
+
+    # 3. Show the behavioural difference vs an unpenalized walk.
+    from repro.walks import StaticWalk
+
+    plain = engine.run(StaticWalk(), n_steps=30, max_sampled_queries=512)
+
+    def mean_visited_degree(run):
+        visited = run.paths[run.paths >= 0]
+        return graph.degrees[visited].mean()
+
+    print(f"\nmean degree of visited vertices:")
+    print(f"  static walk:           {mean_visited_degree(plain):8.1f}")
+    print(f"  degree-penalized walk: {mean_visited_degree(result):8.1f}  "
+          f"(hubs avoided)")
+
+    exact = exact_step_distribution(graph, walk, hub)
+    top_neighbor = int(np.argmax(exact))
+    print(f"\nmost likely step from the hub goes to vertex {top_neighbor} "
+          f"(degree {graph.degree(top_neighbor)}, p = {exact[top_neighbor]:.3f})")
+
+
+if __name__ == "__main__":
+    main()

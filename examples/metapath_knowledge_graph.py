@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""MetaPath walks on a heterogeneous "knowledge graph".
+
+Builds a synthetic author / paper / venue graph, defines the classic
+A-P-V-P-A meta-path, and runs label-constrained walks on the modeled
+accelerator — every sampled path provably follows the schema.
+
+Usage:  python examples/metapath_knowledge_graph.py
+"""
+
+import numpy as np
+
+from repro import LightRW, LightRWConfig, MetaPathWalk
+from repro.graph.builders import from_edge_list
+from repro.graph.csr import CSRGraph
+
+AUTHOR, PAPER, VENUE = 0, 1, 2
+LABEL_NAMES = {AUTHOR: "Author", PAPER: "Paper", VENUE: "Venue"}
+
+
+def build_bibliographic_graph(
+    n_authors: int = 300, n_papers: int = 600, n_venues: int = 25, seed: int = 1
+) -> CSRGraph:
+    """Authors write papers; papers appear at venues (bipartite layers)."""
+    rng = np.random.default_rng(seed)
+    authors = np.arange(n_authors)
+    papers = n_authors + np.arange(n_papers)
+    venues = n_authors + n_papers + np.arange(n_venues)
+
+    edges = []
+    for paper in papers:
+        for author in rng.choice(authors, size=rng.integers(1, 4), replace=False):
+            edges.append((author, paper))
+        edges.append((paper, venues[rng.integers(0, n_venues)]))
+
+    labels = np.concatenate([
+        np.full(n_authors, AUTHOR),
+        np.full(n_papers, PAPER),
+        np.full(n_venues, VENUE),
+    ]).astype(np.int16)
+
+    graph = from_edge_list(
+        np.array(edges), num_vertices=n_authors + n_papers + n_venues,
+        directed=False, name="bibliographic",
+    )
+    graph.vertex_labels = labels
+    return graph
+
+
+def main() -> None:
+    graph = build_bibliographic_graph()
+    print(f"knowledge graph: {graph}")
+
+    # The A-P-V-P-A meta-path: find authors related through a venue.
+    schema = [AUTHOR, PAPER, VENUE, PAPER, AUTHOR]
+    walk = MetaPathWalk(schema, weighted=False)
+
+    engine = LightRW(graph, config=LightRWConfig(n_instances=2), seed=3)
+    authors = np.nonzero(graph.vertex_labels == AUTHOR)[0]
+    starts = authors[graph.degrees[authors] > 0][:200]
+    result = engine.run(walk, n_steps=len(schema) - 1, starts=starts)
+
+    complete = result.lengths == len(schema) - 1
+    print(f"\n{complete.sum()} of {starts.size} walks completed the "
+          f"A-P-V-P-A meta-path (others hit dead ends)")
+
+    print("\nsample meta-paths (vertex: label):")
+    shown = 0
+    for q in np.nonzero(complete)[0][:5]:
+        path = result.paths[q, : result.lengths[q] + 1]
+        rendered = " -> ".join(
+            f"{v}:{LABEL_NAMES[int(graph.vertex_labels[v])]}" for v in path
+        )
+        print(f"  {rendered}")
+        shown += 1
+        # Every step matches the schema by construction:
+        for position, vertex in enumerate(path):
+            assert graph.vertex_labels[vertex] == schema[position]
+    if shown:
+        print("\nall sampled paths verified against the schema")
+
+    print(f"\nmodeled kernel time: {result.kernel_s * 1e6:.1f} us "
+          f"({result.steps_per_second:.3g} steps/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Node2Vec embeddings end to end: walks -> skip-gram -> nearest neighbors.
+
+Generates accelerated Node2Vec walks over a community-structured graph,
+trains the library's numpy skip-gram model, and shows that embedding
+nearest-neighbors recover the communities.
+
+Usage:  python examples/node2vec_embeddings.py
+"""
+
+import numpy as np
+
+from repro import LightRW, Node2VecWalk
+from repro.apps.word2vec import train_skipgram, walk_training_pairs
+from repro.graph.builders import from_edge_list
+
+
+def build_community_graph(n_blocks: int = 8, block_size: int = 24, seed: int = 5):
+    """A stochastic block model: dense blocks, sparse bridges."""
+    rng = np.random.default_rng(seed)
+    n = n_blocks * block_size
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            same_block = u // block_size == v // block_size
+            p = 0.25 if same_block else 0.004
+            if rng.random() < p:
+                edges.append((u, v))
+    return from_edge_list(
+        np.array(edges), num_vertices=n, directed=False, name="sbm"
+    )
+
+
+def main() -> None:
+    graph = build_community_graph()
+    print(f"community graph: {graph}")
+    block_of = np.arange(graph.num_vertices) // 24
+
+    engine = LightRW(graph, seed=7)
+    result = engine.run(Node2VecWalk(p=1.0, q=0.5), n_steps=30)
+    print(f"walked {result.num_queries} queries; modeled kernel "
+          f"{result.kernel_s * 1e6:.0f} us")
+
+    pairs = walk_training_pairs(result.paths, result.lengths, window=4, seed=7)
+    print(f"training skip-gram on {pairs.shape[0]} (target, context) pairs ...")
+    model = train_skipgram(
+        pairs, graph.num_vertices, dim=24, epochs=4, seed=7,
+        degree_weights=graph.degrees,
+    )
+
+    # Nearest neighbors by cosine similarity should share the community.
+    normalized = model.in_vectors / np.maximum(
+        np.linalg.norm(model.in_vectors, axis=1, keepdims=True), 1e-12
+    )
+    similarity = normalized @ normalized.T
+    np.fill_diagonal(similarity, -np.inf)
+    nearest = similarity.argmax(axis=1)
+    same_block = (block_of[nearest] == block_of).mean()
+    print(f"nearest embedding neighbor shares the community for "
+          f"{same_block:.0%} of vertices (chance: ~12%)")
+
+    probe = 0
+    top5 = np.argsort(similarity[probe])[::-1][:5]
+    print(f"\nvertex {probe} (block {block_of[probe]}) nearest neighbors: "
+          f"{[(int(v), int(block_of[v])) for v in top5]}")
+
+
+if __name__ == "__main__":
+    main()

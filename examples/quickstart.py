@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: run Node2Vec on the modeled LightRW accelerator.
+
+Loads the livejournal stand-in, runs one query per vertex through the
+analytic FPGA backend, and prints walks, throughput and the comparison
+against the modeled ThunderRW CPU baseline.
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro import LightRW, Node2VecWalk, compare_engines, load_dataset
+from repro.units import format_rate
+
+SCALE = 512  # dataset scale divisor (see DESIGN.md's scaled-platform rule)
+
+
+def main() -> None:
+    graph = load_dataset("livejournal", scale_divisor=SCALE)
+    print(f"graph: {graph}")
+
+    engine = LightRW(graph, hardware_scale=SCALE, seed=42)
+    walk = Node2VecWalk(p=2.0, q=0.5)
+    result = engine.run(walk, n_steps=80, max_sampled_queries=1024)
+
+    print(f"\nran {result.num_queries} Node2Vec queries x 80 steps")
+    print(f"kernel time (modeled): {result.kernel_s * 1e3:.2f} ms")
+    print(f"PCIe transfer:         {result.pcie_s * 1e3:.2f} ms "
+          f"({result.pcie_fraction:.1%} of end-to-end)")
+    print(f"throughput:            {format_rate(result.steps_per_second)}")
+
+    print("\nfirst three walks:")
+    for q in range(3):
+        path = result.paths[q, : result.lengths[q] + 1]
+        print(f"  query {q}: {path[:12].tolist()}{' ...' if path.size > 12 else ''}")
+
+    print("\ncomparing against the modeled ThunderRW baseline ...")
+    report = compare_engines(
+        graph, walk, n_steps=80, hardware_scale=SCALE, max_sampled_queries=512
+    )
+    print(f"LightRW:   {format_rate(report.lightrw.steps_per_second)}")
+    print(f"ThunderRW: {format_rate(report.thunderrw.steps_per_second)}")
+    print(f"speedup:   {report.speedup:.2f}x  "
+          f"(paper band for Node2Vec: 5.17x - 9.10x)")
+    print(f"power efficiency improvement: "
+          f"{report.power_efficiency_improvement():.1f}x")
+
+
+if __name__ == "__main__":
+    main()

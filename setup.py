@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs (`pip install -e . --no-use-pep517`).
+
+The offline environment ships setuptools without the `wheel` package, so the
+PEP 517 editable path (which builds a wheel) is unavailable; this file lets
+`setup.py develop` handle it.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

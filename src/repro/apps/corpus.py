@@ -1,0 +1,84 @@
+"""Walk-corpus persistence — the interchange point with embedding tools.
+
+Node2Vec pipelines feed walks to word2vec implementations as "sentences":
+one line per walk, space-separated vertex ids.  These helpers write and
+read that format (the one SNAP, gensim and the original node2vec code all
+consume), so walks produced by this library's accelerator models can be
+trained by any external tool, and external corpora can be scored here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import QueryError
+
+
+def save_walk_corpus(
+    paths: np.ndarray,
+    lengths: np.ndarray,
+    destination: str | Path,
+    min_length: int = 1,
+) -> int:
+    """Write walks as word2vec sentences; returns the number written.
+
+    Walks shorter than ``min_length`` steps are dropped (degenerate
+    single-vertex "sentences" carry no training signal).
+    """
+    if paths.ndim != 2:
+        raise QueryError(f"paths must be 2-D, got shape {paths.shape}")
+    if min_length < 0:
+        raise QueryError(f"min_length must be non-negative, got {min_length}")
+    written = 0
+    with open(destination, "w", encoding="utf-8") as handle:
+        for row, n_steps in zip(paths, np.asarray(lengths)):
+            if n_steps < min_length:
+                continue
+            walk = row[: int(n_steps) + 1]
+            handle.write(" ".join(map(str, walk.tolist())))
+            handle.write("\n")
+            written += 1
+    return written
+
+
+def load_walk_corpus(source: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Read a sentence file back into ``(paths, lengths)`` (-1 padded)."""
+    walks: list[list[int]] = []
+    with open(source, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                walk = [int(token) for token in stripped.split()]
+            except ValueError as exc:
+                raise QueryError(
+                    f"{source}:{line_number}: non-integer vertex id"
+                ) from exc
+            if not walk:
+                continue
+            walks.append(walk)
+    if not walks:
+        return np.zeros((0, 1), dtype=np.int64), np.zeros(0, dtype=np.int64)
+    width = max(len(walk) for walk in walks)
+    paths = np.full((len(walks), width), -1, dtype=np.int64)
+    lengths = np.zeros(len(walks), dtype=np.int64)
+    for index, walk in enumerate(walks):
+        paths[index, : len(walk)] = walk
+        lengths[index] = len(walk) - 1
+    return paths, lengths
+
+
+def corpus_statistics(paths: np.ndarray, lengths: np.ndarray) -> dict[str, float]:
+    """Summary of a walk corpus (tokens, coverage, mean length)."""
+    lengths = np.asarray(lengths)
+    tokens = int((paths >= 0).sum())
+    vertices = paths[paths >= 0]
+    return {
+        "walks": int(lengths.size),
+        "tokens": tokens,
+        "mean_length": float(lengths.mean()) if lengths.size else 0.0,
+        "distinct_vertices": int(np.unique(vertices).size) if tokens else 0,
+    }

@@ -1,0 +1,101 @@
+"""Energy accounting and terabyte-scale capacity projection experiments.
+
+Extensions of Table 3 (energy per step, energy-delay product) and of the
+paper's concluding remark about terabyte-scale graphs needing multiple
+boards.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    METAPATH_LENGTH,
+    METAPATH_SCHEMA,
+    NODE2VEC_LENGTH,
+    NODE2VEC_P,
+    NODE2VEC_Q,
+    ExperimentResult,
+    register,
+)
+from repro.core.compare import compare_engines
+from repro.fpga.energy import energy_comparison
+from repro.fpga.projection import plan_capacity
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.node2vec import Node2VecWalk
+
+
+@register("energy")
+def run_energy(
+    scale_divisor: int = DEFAULT_SCALE,
+    graphs: tuple[str, ...] = ("livejournal", "uk2002"),
+    node2vec_length: int = NODE2VEC_LENGTH // 2,
+    max_sampled_queries: int = 1024,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    workloads = [
+        ("metapath", MetaPathWalk(METAPATH_SCHEMA), METAPATH_LENGTH),
+        ("node2vec", Node2VecWalk(NODE2VEC_P, NODE2VEC_Q), node2vec_length),
+    ]
+    rows = []
+    for name in graphs:
+        graph = load_dataset(name, scale_divisor=scale_divisor, seed=seed)
+        for app, algorithm, n_steps in workloads:
+            report = compare_engines(
+                graph, algorithm, n_steps, hardware_scale=scale_divisor,
+                max_sampled_queries=max_sampled_queries, seed=seed,
+            )
+            figures = energy_comparison(
+                app,
+                fpga_time_s=report.lightrw.end_to_end_s,
+                cpu_time_s=report.thunderrw.kernel_s,
+                total_steps=report.lightrw.total_steps,
+            )
+            rows.append(
+                {
+                    "graph": name,
+                    "app": app,
+                    "lightrw_nj_per_step": round(figures["lightrw_nj_per_step"], 1),
+                    "thunderrw_nj_per_step": round(figures["thunderrw_nj_per_step"], 1),
+                    "energy_improvement": round(figures["energy_improvement"], 1),
+                    "edp_improvement": round(figures["edp_improvement"], 1),
+                }
+            )
+    return ExperimentResult(
+        name="energy",
+        title="Energy per step and energy-delay product (Table 3 extended)",
+        rows=rows,
+        paper_expectation=(
+            "LightRW spends an order of magnitude less energy per sampled "
+            "step; the energy-delay product compounds the speedup on top"
+        ),
+        params={"scale_divisor": scale_divisor, "node2vec_length": node2vec_length},
+    )
+
+
+@register("future-capacity")
+def run_capacity() -> ExperimentResult:
+    """Board planning for the paper's datasets and terabyte-scale targets."""
+    rows = []
+    for name in ("livejournal", "uk2002"):
+        spec = DATASETS[name]
+        plan = plan_capacity(spec.num_vertices, spec.num_edges)
+        rows.append({"graph": f"{name} (paper scale)", **plan.as_row()})
+    # The conclusion's hypothetical: a terabyte-scale web graph.
+    for label, vertices, edges in (
+        ("web 10x uk2002", 185_000_000, 3_000_000_000),
+        ("terabyte-scale", 4_000_000_000, 125_000_000_000),
+    ):
+        plan = plan_capacity(vertices, edges)
+        rows.append({"graph": label, **plan.as_row()})
+    return ExperimentResult(
+        name="future-capacity",
+        title="Capacity projection: boards needed per graph (paper Section 8)",
+        rows=rows,
+        paper_expectation=(
+            "the paper's datasets fit one U250 (per-channel replication); "
+            "terabyte-scale graphs force a partitioned multi-board "
+            "deployment whose throughput the network bounds"
+        ),
+    )

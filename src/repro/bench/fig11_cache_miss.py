@@ -1,0 +1,73 @@
+"""Figure 11 — degree-aware vs direct-mapped cache miss ratio.
+
+Row-index access traces on growing RMAT graphs, against a cache of 2^12
+vertices.  Both cache simulations are exact (see :mod:`repro.fpga.cache`).
+
+Workload note: the paper drives this with MetaPath queries at paper scale,
+where walks are long enough that the access stream is dominated by the
+degree-biased stationary mix.  On our scaled stand-ins a 5-step MetaPath
+trace is dominated by its uniform cold starts instead, which masks the
+policy difference; we therefore use 20-step walks (the same unnormalized
+stationary distribution) and report the cold-start share per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.common import DEFAULT_SEED, ExperimentResult, register
+from repro.fpga.cache import simulate_degree_aware, simulate_direct_mapped
+from repro.graph.generators import rmat_graph
+from repro.walks.stepper import PWRSSampler, run_walks
+from repro.walks.uniform import UniformWalk
+
+
+@register("fig11")
+def run(
+    scales: tuple[int, ...] = (6, 8, 10, 12, 14, 16, 18),
+    cache_entries: int = 1 << 12,
+    max_queries: int = 1 << 13,
+    walk_length: int = 20,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    rows = []
+    for scale in scales:
+        graph = rmat_graph(scale, edge_factor=8, seed=seed)
+        starts = graph.nonzero_degree_vertices()
+        if starts.size > max_queries:
+            starts = starts[:: starts.size // max_queries][:max_queries]
+        session = run_walks(
+            graph, starts, walk_length, UniformWalk(), PWRSSampler(k=16, seed=seed)
+        )
+        trace = np.concatenate([r.curr for r in session.records])
+        dac_hits = simulate_degree_aware(trace, graph.degrees, cache_entries)
+        dmc_hits = simulate_direct_mapped(trace, cache_entries)
+        rows.append(
+            {
+                "vertices": f"2^{scale}",
+                "trace_len": trace.size,
+                "cold_share": round(starts.size / max(trace.size, 1), 3),
+                "dac_miss_ratio": round(1.0 - dac_hits.mean(), 3),
+                "dmc_miss_ratio": round(1.0 - dmc_hits.mean(), 3),
+            }
+        )
+    return ExperimentResult(
+        name="fig11",
+        title="Cache miss ratio: degree-aware (DAC) vs direct-mapped (DMC) on RMAT",
+        rows=rows,
+        paper_expectation=(
+            "near-zero miss below 2^12 vertices (everything fits); beyond "
+            "that DMC approaches 100% while DAC stays much lower (~49% at "
+            "2^18 in the paper)"
+        ),
+        params={
+            "cache_entries": cache_entries,
+            "scales": list(scales),
+            "walk_length": walk_length,
+        },
+        notes=[
+            "20-step unbiased walks replace 5-step MetaPath so the scaled "
+            "trace has the stationary (degree-biased) access mix of the "
+            "paper-scale experiment; see module docstring"
+        ],
+    )

@@ -1,0 +1,85 @@
+"""Figure 12 — dynamic burst strategies on MetaPath.
+
+Speedup of each ``b1+b{L}`` strategy over the short-only ``b1+b0``
+baseline, on RMAT synthetics and real-graph stand-ins.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    DEFAULT_SAMPLED_QUERIES,
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    METAPATH_LENGTH,
+    METAPATH_SCHEMA,
+    ExperimentResult,
+    register,
+)
+from repro.fpga.burst import SHORT_ONLY, BurstStrategy
+from repro.fpga.config import LightRWConfig
+from repro.fpga.perfmodel import FPGAPerfModel
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import rmat_graph
+from repro.graph.labels import assign_random_weights, assign_vertex_labels
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.stepper import PWRSSampler, run_walks
+
+
+def _graphs(scale_divisor: int, rmat_scales: tuple[int, ...], seed: int):
+    for rmat_scale in rmat_scales:
+        graph = rmat_graph(rmat_scale, edge_factor=8, seed=seed)
+        graph = assign_vertex_labels(graph, n_labels=4, seed=seed + 1)
+        graph = assign_random_weights(graph, seed=seed + 2)
+        yield graph, f"rmat-{rmat_scale}", 1
+    for name in ("livejournal", "orkut"):
+        yield load_dataset(name, scale_divisor=scale_divisor, seed=seed), name, scale_divisor
+
+
+@register("fig12")
+def run(
+    scale_divisor: int = DEFAULT_SCALE // 4,
+    rmat_scales: tuple[int, ...] = (16, 18, 20),
+    long_lengths: tuple[int, ...] = (0, 2, 4, 8, 16, 32),
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    algorithm = MetaPathWalk(METAPATH_SCHEMA)
+    rows = []
+    best_by_graph: dict[str, str] = {}
+    for graph, label, hw_scale in _graphs(scale_divisor, rmat_scales, seed):
+        starts = graph.nonzero_degree_vertices()[:DEFAULT_SAMPLED_QUERIES]
+        session = run_walks(
+            graph, starts, METAPATH_LENGTH, algorithm, PWRSSampler(k=16, seed=seed)
+        )
+        row: dict[str, object] = {"graph": label}
+        baseline_cycles = None
+        best = (None, 0.0)
+        for long_beats in long_lengths:
+            strategy = (
+                SHORT_ONLY
+                if long_beats == 0
+                else BurstStrategy(short_beats=1, long_beats=long_beats)
+            )
+            config = LightRWConfig(strategy=strategy).scaled(hw_scale)
+            breakdown = FPGAPerfModel(config, algorithm).evaluate(
+                session, record_latency=False
+            )
+            if baseline_cycles is None:
+                baseline_cycles = breakdown.kernel_cycles
+            speedup = baseline_cycles / breakdown.kernel_cycles
+            row[strategy.label] = round(speedup, 2)
+            if speedup > best[1]:
+                best = (strategy.label, speedup)
+        best_by_graph[label] = best[0]
+        rows.append(row)
+    return ExperimentResult(
+        name="fig12",
+        title="Dynamic burst strategy speedup over b1+b0 (MetaPath)",
+        rows=rows,
+        paper_expectation=(
+            "b1+b32 wins everywhere (up to 4.24x on synthetic, up to 3.26x "
+            "on real graphs); b1+b2 is the worst strategy (long bursts of "
+            "two cannot amortize the engine overhead)"
+        ),
+        params={"long_lengths": list(long_lengths), "scale_divisor": scale_divisor},
+        notes=[f"best strategy per graph: {best_by_graph}"],
+    )

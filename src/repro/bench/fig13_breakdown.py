@@ -1,0 +1,75 @@
+"""Figure 13 — performance breakdown of WRS, DYB and DAC.
+
+Each technique is disabled one at a time; the bar is the ablated
+configuration's performance relative to everything enabled (1.0 = no
+contribution, lower = the technique mattered more).
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    DEFAULT_SAMPLED_QUERIES,
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    METAPATH_LENGTH,
+    METAPATH_SCHEMA,
+    NODE2VEC_LENGTH,
+    NODE2VEC_P,
+    NODE2VEC_Q,
+    ExperimentResult,
+    register,
+)
+from repro.fpga.config import LightRWConfig
+from repro.fpga.perfmodel import FPGAPerfModel
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.node2vec import Node2VecWalk
+from repro.walks.stepper import PWRSSampler, run_walks
+
+
+@register("fig13")
+def run(
+    scale_divisor: int = DEFAULT_SCALE,
+    graphs: tuple[str, ...] = tuple(DATASET_ORDER),
+    node2vec_length: int = NODE2VEC_LENGTH // 2,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    workloads = [
+        ("MetaPath", MetaPathWalk(METAPATH_SCHEMA), METAPATH_LENGTH),
+        ("Node2Vec", Node2VecWalk(NODE2VEC_P, NODE2VEC_Q), node2vec_length),
+    ]
+    rows = []
+    for name in graphs:
+        graph = load_dataset(name, scale_divisor=scale_divisor, seed=seed)
+        starts = graph.nonzero_degree_vertices()[:DEFAULT_SAMPLED_QUERIES]
+        for app, algorithm, n_steps in workloads:
+            session = run_walks(
+                graph, starts, n_steps, algorithm, PWRSSampler(k=16, seed=seed)
+            )
+            full_config = LightRWConfig().scaled(scale_divisor)
+            full = FPGAPerfModel(full_config, algorithm).evaluate(
+                session, record_latency=False
+            )
+            row: dict[str, object] = {"graph": name, "app": app}
+            for column, ablated in (
+                ("w/o WRS", full_config.with_ablation(wrs=False)),
+                ("w/o DYB", full_config.with_ablation(dynamic_burst=False)),
+                ("w/o DAC", full_config.with_ablation(cache=False)),
+            ):
+                breakdown = FPGAPerfModel(ablated, algorithm).evaluate(
+                    session, record_latency=False
+                )
+                row[column] = round(full.kernel_cycles / breakdown.kernel_cycles, 3)
+            rows.append(row)
+    return ExperimentResult(
+        name="fig13",
+        title="Ablation: relative performance with one technique disabled",
+        rows=rows,
+        paper_expectation=(
+            "WRS contributes the most (disabling it loses 41-79%, more on "
+            "Node2Vec); DYB helps Node2Vec less than MetaPath; DAC is the "
+            "smallest contributor, larger on MetaPath and biggest on the "
+            "largest graph (uk2002, ~6%)"
+        ),
+        params={"scale_divisor": scale_divisor, "node2vec_length": node2vec_length},
+    )

@@ -1,0 +1,75 @@
+"""Figure 14 — LightRW vs ThunderRW speedup on the real-graph stand-ins.
+
+Includes the "ThunderRW w/ PWRS" variant: the parallel reservoir sampler
+dropped into the CPU engine.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    METAPATH_LENGTH,
+    METAPATH_SCHEMA,
+    NODE2VEC_LENGTH,
+    NODE2VEC_P,
+    NODE2VEC_Q,
+    ExperimentResult,
+    register,
+)
+from repro.core.compare import compare_engines
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.node2vec import Node2VecWalk
+
+
+@register("fig14")
+def run(
+    scale_divisor: int = DEFAULT_SCALE,
+    graphs: tuple[str, ...] = tuple(DATASET_ORDER),
+    node2vec_length: int = NODE2VEC_LENGTH // 2,
+    max_sampled_queries: int = 1024,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    workloads = [
+        ("MetaPath", MetaPathWalk(METAPATH_SCHEMA), METAPATH_LENGTH),
+        ("Node2Vec", Node2VecWalk(NODE2VEC_P, NODE2VEC_Q), node2vec_length),
+    ]
+    rows = []
+    for name in graphs:
+        graph = load_dataset(name, scale_divisor=scale_divisor, seed=seed)
+        for app, algorithm, n_steps in workloads:
+            report = compare_engines(
+                graph,
+                algorithm,
+                n_steps,
+                hardware_scale=scale_divisor,
+                max_sampled_queries=max_sampled_queries,
+                include_pwrs_variant=True,
+                seed=seed,
+            )
+            rows.append(
+                {
+                    "graph": name,
+                    "app": app,
+                    "speedup": round(report.speedup, 2),
+                    "thunderrw_w_pwrs": round(report.pwrs_on_cpu_speedup, 2),
+                    "lightrw_steps_per_s": f"{report.lightrw.steps_per_second:.3g}",
+                    "thunderrw_steps_per_s": f"{report.thunderrw.steps_per_second:.3g}",
+                }
+            )
+    return ExperimentResult(
+        name="fig14",
+        title="LightRW speedup over ThunderRW (end-to-end, PCIe included)",
+        rows=rows,
+        paper_expectation=(
+            "6.27-9.55x on MetaPath and 5.17-9.10x on Node2Vec; smallest "
+            "speedup on youtube (it fits the CPU LLC); ThunderRW w/ PWRS "
+            "is mixed — up to 1.84x better on orkut, worse on some graphs"
+        ),
+        params={
+            "scale_divisor": scale_divisor,
+            "node2vec_length": node2vec_length,
+            "max_sampled_queries": max_sampled_queries,
+        },
+    )

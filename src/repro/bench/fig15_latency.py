@@ -1,0 +1,82 @@
+"""Figure 15 — per-query latency distributions (box plots).
+
+8192 random queries per graph on both systems; the five box-plot numbers
+(min, quartiles, max) per system per workload.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    METAPATH_LENGTH,
+    METAPATH_SCHEMA,
+    NODE2VEC_LENGTH,
+    NODE2VEC_P,
+    NODE2VEC_Q,
+    ExperimentResult,
+    register,
+)
+from repro.core.api import LightRW
+from repro.core.queries import make_queries
+from repro.core.results import latency_box_stats
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.node2vec import Node2VecWalk
+
+
+@register("fig15")
+def run(
+    scale_divisor: int = DEFAULT_SCALE,
+    graphs: tuple[str, ...] = tuple(DATASET_ORDER),
+    n_queries: int = 8192,
+    max_sampled_queries: int = 1024,
+    node2vec_length: int = NODE2VEC_LENGTH // 2,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    workloads = [
+        ("MetaPath", MetaPathWalk(METAPATH_SCHEMA), METAPATH_LENGTH),
+        ("Node2Vec", Node2VecWalk(NODE2VEC_P, NODE2VEC_Q), node2vec_length),
+    ]
+    rows = []
+    for name in graphs:
+        graph = load_dataset(name, scale_divisor=scale_divisor, seed=seed)
+        starts = make_queries(graph, n_queries=n_queries, seed=seed)
+        for app, algorithm, n_steps in workloads:
+            for backend, system in (
+                ("fpga-model", "LightRW"),
+                ("cpu-baseline", "ThunderRW"),
+            ):
+                engine = LightRW(
+                    graph, backend=backend, hardware_scale=scale_divisor, seed=seed
+                )
+                result = engine.run(
+                    algorithm,
+                    n_steps,
+                    starts=starts,
+                    max_sampled_queries=max_sampled_queries,
+                )
+                stats = result.latency_stats().as_row(unit_scale=1e6)
+                rows.append(
+                    {
+                        "graph": name,
+                        "app": app,
+                        "system": system,
+                        **{f"{k}_us": round(v, 2) for k, v in stats.items()},
+                    }
+                )
+    return ExperimentResult(
+        name="fig15",
+        title="Query latency distribution (microseconds)",
+        rows=rows,
+        paper_expectation=(
+            "LightRW has much lower latency than ThunderRW and a tighter, "
+            "more consistent spread across graphs (deterministic hardware "
+            "vs multi-threaded CPU jitter)"
+        ),
+        params={
+            "scale_divisor": scale_divisor,
+            "n_queries": n_queries,
+            "node2vec_length": node2vec_length,
+        },
+    )

@@ -1,0 +1,141 @@
+"""Future-work studies: distributed LightRW and an HBM deployment.
+
+The paper's Section 8 sketches two directions; both are modeled here so
+the benchmarks can chart their behaviour:
+
+* ``future-distributed`` — walker-migration scaling across boards over
+  100G Ethernet: speedup until the network (and hash imbalance) binds;
+* ``future-hbm`` — the same workload on an HBM board (many narrow
+  pseudo-channels) vs the paper's U250 (four wide DDR4 channels).
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    DEFAULT_SAMPLED_QUERIES,
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    METAPATH_LENGTH,
+    METAPATH_SCHEMA,
+    NODE2VEC_P,
+    NODE2VEC_Q,
+    ExperimentResult,
+    register,
+)
+from repro.fpga.distributed import DistributedLightRW
+from repro.graph.partition import (
+    greedy_grow_partition,
+    hash_partition,
+    partition_quality,
+    range_partition,
+)
+from repro.fpga.perfmodel import FPGAPerfModel
+from repro.fpga.platforms import u250_config, u280_hbm_config
+from repro.graph.datasets import load_dataset
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.node2vec import Node2VecWalk
+from repro.walks.stepper import PWRSSampler, run_walks
+
+
+@register("future-distributed")
+def run_distributed(
+    scale_divisor: int = DEFAULT_SCALE,
+    board_counts: tuple[int, ...] = (1, 2, 4, 8, 16),
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    graph = load_dataset("livejournal", scale_divisor=scale_divisor, seed=seed)
+    algorithm = MetaPathWalk(METAPATH_SCHEMA)
+    starts = graph.nonzero_degree_vertices()[:DEFAULT_SAMPLED_QUERIES]
+    session = run_walks(
+        graph, starts, METAPATH_LENGTH, algorithm, PWRSSampler(16, seed)
+    )
+    config = u250_config().scaled(scale_divisor)
+    sweep = DistributedLightRW(config, algorithm, 1).scaling_curve(
+        session, list(board_counts)
+    )
+    base = sweep[0].wall_s
+    rows = [
+        {
+            "boards": outcome.n_boards,
+            "partitioner": "hash",
+            "migration_fraction": round(outcome.migration_fraction, 3),
+            "kernel_ms": round(outcome.kernel_s * 1e3, 4),
+            "network_ms": round(outcome.network_s * 1e3, 4),
+            "speedup": round(base / outcome.wall_s, 2),
+        }
+        for outcome in sweep
+    ]
+    # Partitioner comparison at the largest board count: how much a
+    # locality-aware assignment buys back from the network.
+    boards = board_counts[-1]
+    for label, assignment in (
+        ("range", range_partition(graph, boards)),
+        ("greedy", greedy_grow_partition(graph, boards, seed=seed)),
+    ):
+        outcome = DistributedLightRW(
+            config, algorithm, boards, assignment=assignment
+        ).evaluate(session)
+        quality = partition_quality(graph, assignment)
+        rows.append(
+            {
+                "boards": boards,
+                "partitioner": f"{label} (cut {quality.edge_cut_fraction:.2f})",
+                "migration_fraction": round(outcome.migration_fraction, 3),
+                "kernel_ms": round(outcome.kernel_s * 1e3, 4),
+                "network_ms": round(outcome.network_s * 1e3, 4),
+                "speedup": round(base / outcome.wall_s, 2),
+            }
+        )
+    return ExperimentResult(
+        name="future-distributed",
+        title="Distributed LightRW scaling (modeled, 100G Ethernet)",
+        rows=rows,
+        paper_expectation=(
+            "future work (Section 8): speedup grows with boards while "
+            "per-board DRAM dominates, then flattens as walker migration "
+            "(~(B-1)/B of steps under hash partitioning) loads the network"
+        ),
+        params={"scale_divisor": scale_divisor, "board_counts": list(board_counts)},
+    )
+
+
+@register("future-hbm")
+def run_hbm(
+    scale_divisor: int = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    graph = load_dataset("livejournal", scale_divisor=scale_divisor, seed=seed)
+    workloads = [
+        ("MetaPath", MetaPathWalk(METAPATH_SCHEMA), METAPATH_LENGTH),
+        ("Node2Vec", Node2VecWalk(NODE2VEC_P, NODE2VEC_Q), 20),
+    ]
+    platforms = [
+        ("U250 (4x DDR4)", u250_config().scaled(scale_divisor)),
+        ("U280 (16x HBM)", u280_hbm_config(16).scaled(scale_divisor)),
+        ("U280 (32x HBM)", u280_hbm_config(32).scaled(scale_divisor)),
+    ]
+    rows = []
+    for app, algorithm, n_steps in workloads:
+        starts = graph.nonzero_degree_vertices()[:DEFAULT_SAMPLED_QUERIES]
+        row: dict[str, object] = {"app": app}
+        for label, config in platforms:
+            session = run_walks(
+                graph, starts, n_steps, algorithm, PWRSSampler(config.k, seed)
+            )
+            breakdown = FPGAPerfModel(config, algorithm).evaluate(
+                session, record_latency=False
+            )
+            row[label] = f"{breakdown.steps_per_second:.3g}"
+        rows.append(row)
+    return ExperimentResult(
+        name="future-hbm",
+        title="Platform study: DDR4 U250 vs HBM U280 (steps/s)",
+        rows=rows,
+        paper_expectation=(
+            "related work (Su et al.) uses HBM: many narrow channels "
+            "trade per-channel bandwidth for channel count; with one "
+            "LightRW instance per pseudo-channel the aggregate wins on "
+            "short-adjacency workloads"
+        ),
+        params={"scale_divisor": scale_divisor},
+    )

@@ -1,0 +1,125 @@
+"""Aggregate experiment report: results/*.json -> one markdown document.
+
+``lightrw-bench`` saves each experiment as JSON; :func:`render_report`
+collects a directory of them into a single markdown report with the tables
+and (for numeric series) text bar charts — the artifact you attach to a
+reproduction writeup.
+
+Also provides :func:`text_bar_chart`, the small renderer behind the
+figures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Experiment ordering in the report (paper order, then extensions).
+REPORT_ORDER = [
+    "table1", "table2", "fig6", "fig10a", "fig10b", "fig11", "fig12",
+    "fig13", "fig14", "fig15", "fig16", "fig17", "table3", "table4",
+    "table5", "fig18",
+    "ablation-sampler", "ablation-cache", "ablation-k", "ablation-cache-size",
+    "energy", "future-distributed", "future-hbm", "future-capacity",
+]
+
+#: Numeric column to chart per experiment (label column, value column).
+CHART_COLUMNS: dict[str, tuple[str, str]] = {
+    "fig6": ("burst_length", "bandwidth_gbps"),
+    "fig11": ("vertices", "dac_miss_ratio"),
+    "fig14": ("graph", "speedup"),
+    "fig16": ("queries", "speedup"),
+    "future-distributed": ("boards", "speedup"),
+}
+
+
+def text_bar_chart(
+    labels: list[str], values: list[float], width: int = 40, unit: str = ""
+) -> str:
+    """Render labeled values as a fixed-width ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return "(no data)"
+    peak = max(max(values), 1e-12)
+    label_width = max((len(str(label)) for label in labels), default=1)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(value / peak * width)), 0)
+        lines.append(f"{str(label):>{label_width}} |{bar:<{width}} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def _markdown_table(rows: list[dict]) -> str:
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    header = "| " + " | ".join(columns) + " |"
+    separator = "| " + " | ".join("---" for _ in columns) + " |"
+    body = "\n".join(
+        "| " + " | ".join(str(row.get(c, "")) for c in columns) + " |"
+        for row in rows
+    )
+    return "\n".join([header, separator, body])
+
+
+def render_experiment(payload: dict) -> str:
+    """Markdown section for one saved experiment."""
+    name = payload["name"]
+    parts = [
+        f"## {name} — {payload['title']}",
+        "",
+        f"*Paper expectation:* {payload['paper_expectation']}",
+        "",
+        _markdown_table(payload["rows"]),
+    ]
+    chart = CHART_COLUMNS.get(name)
+    if chart:
+        label_col, value_col = chart
+        labels, values = [], []
+        for row in payload["rows"]:
+            if label_col in row and value_col in row:
+                try:
+                    values.append(float(row[value_col]))
+                    labels.append(str(row[label_col]))
+                except (TypeError, ValueError):
+                    continue
+        if values:
+            parts += ["", "```", text_bar_chart(labels, values), "```"]
+    for note in payload.get("notes", []):
+        parts.append(f"\n> {note}")
+    if payload.get("params"):
+        parts.append(f"\n*Parameters:* `{payload['params']}`")
+    return "\n".join(parts)
+
+
+def render_report(results_dir: str | Path) -> str:
+    """Assemble every saved experiment in ``results_dir`` into markdown."""
+    directory = Path(results_dir)
+    available = {path.stem: path for path in directory.glob("*.json")}
+    if not available:
+        raise FileNotFoundError(f"no experiment JSON files in {directory}")
+    ordered = [name for name in REPORT_ORDER if name in available]
+    ordered += sorted(set(available) - set(REPORT_ORDER))
+    sections = [
+        "# LightRW reproduction — experiment report",
+        "",
+        f"{len(ordered)} experiments collected from `{directory}`.",
+        "",
+    ]
+    for name in ordered:
+        payload = json.loads(available[name].read_text())
+        sections.append(render_experiment(payload))
+        sections.append("")
+    return "\n".join(sections)
+
+
+def write_report(results_dir: str | Path, destination: str | Path) -> Path:
+    """Render and write the aggregate report; returns the path written."""
+    destination = Path(destination)
+    destination.write_text(render_report(results_dir))
+    return destination

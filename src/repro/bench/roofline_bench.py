@@ -1,0 +1,62 @@
+"""Roofline experiment: where GDRW workloads sit under the machine roofs."""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    DEFAULT_SAMPLED_QUERIES,
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    METAPATH_LENGTH,
+    METAPATH_SCHEMA,
+    NODE2VEC_P,
+    NODE2VEC_Q,
+    ExperimentResult,
+    register,
+)
+from repro.fpga.config import LightRWConfig
+from repro.fpga.perfmodel import FPGAPerfModel
+from repro.fpga.roofline import ridge_point, roofline_point
+from repro.graph.datasets import load_dataset
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.node2vec import Node2VecWalk
+from repro.walks.stepper import PWRSSampler, run_walks
+from repro.walks.uniform import UniformWalk
+
+
+@register("roofline")
+def run(
+    scale_divisor: int = DEFAULT_SCALE,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    graph = load_dataset("livejournal", scale_divisor=scale_divisor, seed=seed)
+    starts = graph.nonzero_degree_vertices()[:DEFAULT_SAMPLED_QUERIES]
+    config = LightRWConfig().scaled(scale_divisor)
+    workloads = [
+        ("uniform (len 20)", UniformWalk(), 20),
+        ("metapath (len 5)", MetaPathWalk(METAPATH_SCHEMA), METAPATH_LENGTH),
+        ("node2vec (len 20)", Node2VecWalk(NODE2VEC_P, NODE2VEC_Q), 20),
+    ]
+    rows = []
+    for label, algorithm, n_steps in workloads:
+        session = run_walks(
+            graph, starts, n_steps, algorithm, PWRSSampler(config.k, seed)
+        )
+        breakdown = FPGAPerfModel(config, algorithm).evaluate(
+            session, record_latency=False
+        )
+        items = sum(int(r.degrees.sum()) for r in session.records)
+        rows.append(roofline_point(label, breakdown, items).as_row())
+    return ExperimentResult(
+        name="roofline",
+        title="Roofline positions of GDRW workloads (LJ stand-in, U250 config)",
+        rows=rows,
+        paper_expectation=(
+            "every GDRW sits left of the ridge point "
+            f"({ridge_point(config):.3f} items/B at k=16): memory-bound by "
+            "construction, which is the paper's whole premise; efficiency "
+            "against the memory roof shows how much the burst engine and "
+            "cache recover"
+        ),
+        params={"scale_divisor": scale_divisor},
+        notes=[f"ridge point: {ridge_point(config):.3f} items/byte"],
+    )

@@ -1,0 +1,74 @@
+"""Table 3 — power efficiency of LightRW vs ThunderRW.
+
+Power draw uses the paper's measured envelopes (the one quantity taken
+from the paper rather than derived — see DESIGN.md); the performance side
+comes from the Figure 14 comparison, so the efficiency improvement is
+``speedup x (CPU watts / FPGA watts)``.
+"""
+
+from __future__ import annotations
+
+from repro.bench.common import (
+    DEFAULT_SCALE,
+    DEFAULT_SEED,
+    METAPATH_LENGTH,
+    METAPATH_SCHEMA,
+    NODE2VEC_LENGTH,
+    NODE2VEC_P,
+    NODE2VEC_Q,
+    ExperimentResult,
+    register,
+)
+from repro.core.compare import compare_engines
+from repro.fpga.power import PowerModel
+from repro.graph.datasets import DATASET_ORDER, load_dataset
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.node2vec import Node2VecWalk
+
+
+@register("table3")
+def run(
+    scale_divisor: int = DEFAULT_SCALE,
+    node2vec_length: int = NODE2VEC_LENGTH // 2,
+    max_sampled_queries: int = 1024,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentResult:
+    workloads = [
+        ("metapath", MetaPathWalk(METAPATH_SCHEMA), METAPATH_LENGTH),
+        ("node2vec", Node2VecWalk(NODE2VEC_P, NODE2VEC_Q), node2vec_length),
+    ]
+    rows = []
+    for app, algorithm, n_steps in workloads:
+        model = PowerModel(app)
+        improvements = []
+        for name in DATASET_ORDER:
+            graph = load_dataset(name, scale_divisor=scale_divisor, seed=seed)
+            report = compare_engines(
+                graph,
+                algorithm,
+                n_steps,
+                hardware_scale=scale_divisor,
+                max_sampled_queries=max_sampled_queries,
+                seed=seed,
+            )
+            improvements.append(report.power_efficiency_improvement())
+        rows.append(
+            {
+                "app": app,
+                "lightrw_watts": f"{model.fpga_watts(0):.0f}~{model.fpga_watts(1):.0f}",
+                "thunderrw_watts": f"{model.cpu_watts(0):.0f}~{model.cpu_watts(1):.0f}",
+                "efficiency_improvement": (
+                    f"{min(improvements):.2f}x~{max(improvements):.2f}x"
+                ),
+            }
+        )
+    return ExperimentResult(
+        name="table3",
+        title="Power efficiency: LightRW vs ThunderRW",
+        rows=rows,
+        paper_expectation=(
+            "MetaPath 15.05x~26.42x and Node2Vec 16.28x~24.10x better "
+            "execution time per watt (41-45 W vs 103-126 W)"
+        ),
+        params={"scale_divisor": scale_divisor, "node2vec_length": node2vec_length},
+    )

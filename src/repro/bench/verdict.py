@@ -1,0 +1,204 @@
+"""Automated reproduction verdicts.
+
+EXPERIMENTS.md's summary table, as code: each paper table/figure has a
+*verdict check* — a predicate over its saved result rows encoding the
+paper's qualitative claim.  ``lightrw-bench`` results can then be scored
+mechanically:
+
+    from repro.bench.verdict import score_reproduction
+    verdicts = score_reproduction("results/")
+
+Checks express the *shape* requirements (orderings, bands, monotonicity),
+exactly mirroring the assertions in ``benchmarks/`` — but runnable against
+any saved results directory, including ones produced with different scales
+or seeds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of one experiment's check."""
+
+    experiment: str
+    claim: str
+    passed: bool
+    detail: str
+
+    def format(self) -> str:
+        marker = "PASS" if self.passed else "FAIL"
+        return f"[{marker}] {self.experiment}: {self.claim} — {self.detail}"
+
+
+def _percent(cell: str) -> float:
+    return float(str(cell).split("%")[0])
+
+
+def _check_table1(rows) -> tuple[bool, str]:
+    misses = [_percent(r["llc_miss"]) for r in rows]
+    retiring = [_percent(r["retiring"]) for r in rows]
+    ok = all(40 <= m <= 95 for m in misses) and all(r < 50 for r in retiring)
+    return ok, f"LLC miss {min(misses):.0f}-{max(misses):.0f}%, retiring <= {max(retiring):.0f}%"
+
+
+def _check_fig6(rows) -> tuple[bool, str]:
+    bw = [r["bandwidth_gbps"] for r in rows]
+    valid = [r["valid_data_ratio"] for r in rows]
+    ok = bw == sorted(bw) and valid == sorted(valid, reverse=True) and abs(bw[-1] - 17.57) < 0.5
+    return ok, f"bandwidth {bw[0]} -> {bw[-1]} GB/s, valid {valid[0]} -> {valid[-1]}"
+
+
+def _check_fig10a(rows) -> tuple[bool, str]:
+    rates = [float(r["measured_items_per_s"]) for r in rows]
+    saturated = [r for row, r in zip(rows, rates) if row["k"] >= 16]
+    ok = rates == sorted(rates) and max(saturated) / min(saturated) < 1.02
+    return ok, f"saturates at {max(rates):.3g} items/s"
+
+
+def _check_fig11(rows) -> tuple[bool, str]:
+    beyond = [r for r in rows if int(str(r["vertices"]).split("^")[1]) > 12]
+    ok = all(r["dac_miss_ratio"] < r["dmc_miss_ratio"] for r in beyond)
+    last = rows[-1]
+    ok = ok and last["dmc_miss_ratio"] > 0.9
+    return ok, (
+        f"at {rows[-1]['vertices']}: DAC {last['dac_miss_ratio']} vs "
+        f"DMC {last['dmc_miss_ratio']}"
+    )
+
+
+def _check_fig12(rows) -> tuple[bool, str]:
+    ok = all(r["b1+b32"] > 1.3 and r["b1+b2"] < 1.0 for r in rows)
+    best = max(r["b1+b32"] for r in rows)
+    return ok, f"b1+b32 up to {best}x, b1+b2 always < 1x"
+
+
+def _check_fig13(rows) -> tuple[bool, str]:
+    ok = all(r["w/o WRS"] < 0.7 and r["w/o DAC"] > 0.9 for r in rows)
+    return ok, "WRS dominates, DAC smallest, on every workload" if ok else "ordering violated"
+
+
+def _check_fig14(rows) -> tuple[bool, str]:
+    speedups = {(r["graph"], r["app"]): r["speedup"] for r in rows}
+    ok = all(v > 1.5 for v in speedups.values())
+    for app in {a for _, a in speedups}:
+        per_app = {g: v for (g, a), v in speedups.items() if a == app}
+        ok = ok and min(per_app, key=per_app.get) == "youtube"
+    band = (min(speedups.values()), max(speedups.values()))
+    return ok, f"speedups {band[0]}-{band[1]}x, youtube smallest (paper: 5.2-9.6x)"
+
+
+def _check_fig15(rows) -> tuple[bool, str]:
+    by_key = {(r["graph"], r["app"], r["system"]): r for r in rows}
+    ok = True
+    for (graph, app, system), row in by_key.items():
+        if system == "LightRW":
+            thunder = by_key.get((graph, app, "ThunderRW"))
+            ok = ok and thunder is not None and row["median_us"] < thunder["median_us"]
+    return ok, "LightRW median latency lower on every workload" if ok else "latency ordering violated"
+
+
+def _check_fig16(rows) -> tuple[bool, str]:
+    ok = True
+    details = []
+    for app in {r["app"] for r in rows}:
+        app_rows = [r for r in rows if r["app"] == app]
+        speedups = [r["speedup"] for r in app_rows]
+        ok = ok and speedups[0] == max(speedups) and speedups[0] > 2 * speedups[-1]
+        details.append(f"{app} {speedups[0]}x -> {speedups[-1]}x")
+    return ok, "; ".join(sorted(details))
+
+
+def _check_fig17(rows) -> tuple[bool, str]:
+    ok = True
+    for app in {r["app"] for r in rows}:
+        speedups = [r["speedup"] for r in rows if r["app"] == app]
+        ok = ok and max(speedups) / min(speedups) < 1.8
+    return ok, "speedup stable across lengths" if ok else "length sensitivity too large"
+
+
+def _check_table3(rows) -> tuple[bool, str]:
+    highs = []
+    for row in rows:
+        __, high = row["efficiency_improvement"].split("~")
+        highs.append(float(high.rstrip("x")))
+    ok = all(h > 10 for h in highs)
+    return ok, f"efficiency up to {max(highs)}x (paper: up to 26x)"
+
+
+def _check_table4(rows) -> tuple[bool, str]:
+    metapath, node2vec = rows[0], rows[1]
+    graphs = [k for k in metapath if k != "app"]
+    ok = all(_percent(node2vec[g]) < _percent(metapath[g]) for g in graphs)
+    ok = ok and all(_percent(node2vec[g]) < 12 for g in graphs)
+    return ok, "Node2Vec amortizes PCIe below MetaPath everywhere" if ok else "PCIe ordering violated"
+
+
+def _check_table5(rows) -> tuple[bool, str]:
+    ok = True
+    worst = 0.0
+    for row in rows:
+        for column in ("LUTs", "REGs", "BRAMs", "DSPs"):
+            ours = _percent(row[column])
+            paper = float(row[column].split("paper ")[1].rstrip(")%"))
+            worst = max(worst, abs(ours - paper))
+    ok = worst <= 1.0
+    return ok, f"max deviation from paper {worst:.2f} pt"
+
+
+def _check_fig18(rows) -> tuple[bool, str]:
+    snap = {k: float(v) for k, v in rows[0].items() if k != "deployment"}
+    accel = {k: float(v) for k, v in rows[1].items() if k != "deployment"}
+    speedup = snap["total"] / accel["total"]
+    ok = snap["walk"] >= max(snap["learning"], snap["scoring"]) and speedup > 1.3
+    return ok, f"walk dominates SNAP; end-to-end {speedup:.2f}x (paper: ~2x)"
+
+
+#: experiment id -> (claim, check over rows).
+CHECKS: dict[str, tuple[str, Callable]] = {
+    "table1": ("CPU GDRW is memory-bound", _check_table1),
+    "fig6": ("bandwidth up, valid ratio down with burst length", _check_fig6),
+    "fig10a": ("PWRS scales linearly then saturates", _check_fig10a),
+    "fig11": ("DAC beats DMC beyond cache capacity", _check_fig11),
+    "fig12": ("b1+b32 strong, b1+b2 worst", _check_fig12),
+    "fig13": ("WRS >> DYB > DAC contribution", _check_fig13),
+    "fig14": ("LightRW wins everywhere, youtube least", _check_fig14),
+    "fig15": ("LightRW latency lower", _check_fig15),
+    "fig16": ("small batches amplify the speedup", _check_fig16),
+    "fig17": ("stable speedup across walk lengths", _check_fig17),
+    "table3": ("order-of-magnitude power efficiency", _check_table3),
+    "table4": ("long walks amortize PCIe", _check_table4),
+    "table5": ("resource model matches the paper", _check_table5),
+    "fig18": ("accelerated walks halve link prediction", _check_fig18),
+}
+
+
+def score_reproduction(results_dir: str | Path) -> list[Verdict]:
+    """Evaluate every checkable experiment in a results directory."""
+    directory = Path(results_dir)
+    verdicts = []
+    for name, (claim, check) in CHECKS.items():
+        path = directory / f"{name}.json"
+        if not path.exists():
+            verdicts.append(Verdict(name, claim, False, "result file missing"))
+            continue
+        rows = json.loads(path.read_text())["rows"]
+        try:
+            passed, detail = check(rows)
+        except (KeyError, IndexError, ValueError) as error:
+            passed, detail = False, f"malformed result: {error!r}"
+        verdicts.append(Verdict(name, claim, passed, detail))
+    return verdicts
+
+
+def summary(verdicts: list[Verdict]) -> str:
+    """Human-readable scoreboard."""
+    lines = [v.format() for v in verdicts]
+    passed = sum(v.passed for v in verdicts)
+    lines.append(f"reproduced {passed}/{len(verdicts)} checked claims")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands for working with the library from a shell:
+
+* ``info <graph>``     — load a graph and print its statistics;
+* ``generate <kind>``  — synthesize a graph and save it as a CSR bundle;
+* ``walk <graph>``     — run GDRW queries and write the paths;
+* ``rngtest``          — run the randomness battery on the lane generator.
+
+Graphs are referenced either by dataset name (``livejournal``, ``yt``, ...)
+or by file path (``.npz`` CSR bundles or ``src dst [weight]`` text).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.api import LightRW
+from repro.core.queries import make_queries
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.generators import chung_lu_graph, erdos_renyi_graph, rmat_graph
+from repro.graph.io import load_csr_npz, load_edge_list_text, save_csr_npz
+from repro.graph.labels import assign_random_weights, assign_vertex_labels
+from repro.graph.stats import degree_histogram, degree_stats
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.node2vec import Node2VecWalk
+from repro.walks.static import StaticWalk
+from repro.walks.uniform import UniformWalk
+
+
+def _load_graph(spec: str, scale: int, seed: int) -> CSRGraph:
+    lowered = spec.lower()
+    abbreviations = {s.abbreviation.lower() for s in DATASETS.values()}
+    if lowered in DATASETS or lowered in abbreviations:
+        return load_dataset(spec, scale_divisor=scale, seed=seed)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(f"error: {spec!r} is neither a dataset name nor a file")
+    if path.suffix == ".npz":
+        return load_csr_npz(path)
+    return load_edge_list_text(path)
+
+
+def _make_algorithm(args: argparse.Namespace):
+    if args.algorithm == "node2vec":
+        return Node2VecWalk(p=args.p, q=args.q)
+    if args.algorithm == "metapath":
+        schema = [int(x) for x in args.schema.split(",")]
+        return MetaPathWalk(schema)
+    if args.algorithm == "static":
+        return StaticWalk()
+    return UniformWalk()
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.scale, args.seed)
+    print(graph)
+    stats = degree_stats(graph)
+    for key, value in stats.as_row().items():
+        print(f"  {key}: {value}")
+    if args.histogram:
+        print("  degree histogram:")
+        for bucket, count in degree_histogram(graph):
+            if count:
+                print(f"    {bucket:>16}: {count}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "rmat":
+        graph = rmat_graph(args.vertices_log2, edge_factor=args.edge_factor, seed=args.seed)
+    elif args.kind == "chung-lu":
+        graph = chung_lu_graph(
+            1 << args.vertices_log2, avg_degree=float(args.edge_factor), seed=args.seed
+        )
+    else:
+        graph = erdos_renyi_graph(
+            1 << args.vertices_log2, avg_degree=float(args.edge_factor), seed=args.seed
+        )
+    if args.labels:
+        graph = assign_vertex_labels(graph, n_labels=args.labels, seed=args.seed + 1)
+    if args.weights:
+        graph = assign_random_weights(graph, seed=args.seed + 2)
+    save_csr_npz(graph, args.output)
+    print(f"wrote {graph} to {args.output}")
+    return 0
+
+
+def cmd_walk(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.scale, args.seed)
+    algorithm = _make_algorithm(args)
+    engine = LightRW(
+        graph, backend=args.backend, hardware_scale=args.scale, seed=args.seed
+    )
+    starts = make_queries(graph, n_queries=args.queries, seed=args.seed)
+    result = engine.run(
+        algorithm, args.length, starts=starts, max_sampled_queries=args.max_sampled
+    )
+    print(
+        f"{result.num_queries} queries x {args.length} steps on {args.backend}: "
+        f"{result.total_steps} steps, kernel {result.kernel_s * 1e3:.3f} ms, "
+        f"{result.steps_per_second:.3g} steps/s"
+    )
+    if args.output:
+        np.savez_compressed(args.output, paths=result.paths, lengths=result.lengths)
+        print(f"wrote paths to {args.output}")
+    else:
+        for q in range(min(args.show, result.paths.shape[0])):
+            path = result.paths[q, : result.lengths[q] + 1]
+            print(f"  {q}: {' '.join(map(str, path.tolist()))}")
+    return 0
+
+
+def cmd_rngtest(args: argparse.Namespace) -> int:
+    from repro.sampling.rng import ThundeRingRNG
+    from repro.sampling.stattests import run_battery
+
+    result = run_battery(
+        ThundeRingRNG(args.lanes, seed=args.seed), n_samples=args.samples
+    )
+    print(result.summary())
+    return 0 if result.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LightRW reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print graph statistics")
+    info.add_argument("graph", help="dataset name or graph file")
+    info.add_argument("--scale", type=int, default=512)
+    info.add_argument("--seed", type=int, default=7)
+    info.add_argument("--histogram", action="store_true")
+    info.set_defaults(fn=cmd_info)
+
+    gen = sub.add_parser("generate", help="synthesize a graph to a .npz bundle")
+    gen.add_argument("kind", choices=["rmat", "chung-lu", "erdos-renyi"])
+    gen.add_argument("output")
+    gen.add_argument("--vertices-log2", type=int, default=12)
+    gen.add_argument("--edge-factor", type=int, default=8)
+    gen.add_argument("--labels", type=int, default=0)
+    gen.add_argument("--weights", action="store_true")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.set_defaults(fn=cmd_generate)
+
+    walk = sub.add_parser("walk", help="run GDRW queries")
+    walk.add_argument("graph")
+    walk.add_argument("--algorithm", choices=["node2vec", "metapath", "uniform", "static"],
+                      default="node2vec")
+    walk.add_argument("--length", type=int, default=80)
+    walk.add_argument("--queries", type=int, default=None)
+    walk.add_argument("--p", type=float, default=2.0)
+    walk.add_argument("--q", type=float, default=0.5)
+    walk.add_argument("--schema", default="0,1,2,3")
+    walk.add_argument("--backend", choices=["fpga-model", "fpga-cycle", "cpu-baseline"],
+                      default="fpga-model")
+    walk.add_argument("--scale", type=int, default=512)
+    walk.add_argument("--seed", type=int, default=7)
+    walk.add_argument("--max-sampled", type=int, default=2048)
+    walk.add_argument("--output", default=None, help="write paths to .npz")
+    walk.add_argument("--show", type=int, default=5, help="paths to print")
+    walk.set_defaults(fn=cmd_walk)
+
+    rng = sub.add_parser("rngtest", help="run the randomness battery")
+    rng.add_argument("--lanes", type=int, default=16)
+    rng.add_argument("--samples", type=int, default=50_000)
+    rng.add_argument("--seed", type=int, default=7)
+    rng.set_defaults(fn=cmd_rngtest)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Public API of the LightRW reproduction.
+
+:class:`~repro.core.api.LightRW` is the facade a downstream user works
+with: give it a graph and a configuration, ask it to run a batch of GDRW
+queries with a walk algorithm, and get back the walked paths together with
+modeled kernel time, end-to-end time (PCIe included) and per-query
+latencies — on either the analytic backend (fast, graph-scale) or the
+cycle-accurate backend (slow, ground truth).
+"""
+
+from repro.core.api import LightRW, RunResult
+from repro.core.compare import SpeedupReport, compare_engines
+from repro.core.queries import make_queries, sample_queries
+from repro.core.results import latency_box_stats
+
+__all__ = [
+    "LightRW",
+    "RunResult",
+    "SpeedupReport",
+    "compare_engines",
+    "latency_box_stats",
+    "make_queries",
+    "sample_queries",
+]

@@ -1,0 +1,332 @@
+"""The LightRW facade — run GDRW query batches on a chosen backend.
+
+>>> from repro.graph import load_dataset
+>>> from repro.walks import Node2VecWalk
+>>> from repro.core import LightRW, make_queries
+>>> graph = load_dataset("youtube", scale_divisor=512)
+>>> engine = LightRW(graph, hardware_scale=512)
+>>> result = engine.run(Node2VecWalk(p=2, q=0.5), n_steps=20)
+>>> result.paths.shape[0] == result.num_queries
+True
+
+Backends
+--------
+``"fpga-model"``
+    The analytic performance model over functionally exact walks —
+    default; handles graph-scale batches with query-sampled extrapolation.
+``"fpga-cycle"``
+    The cycle-accurate simulator — ground truth, small batches only.
+``"cpu-baseline"``
+    The modeled ThunderRW engine, for comparisons.
+
+The two FPGA backends produce identical walks for identical seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.queries import make_queries, sample_queries
+from repro.core.results import BoxStats, latency_box_stats
+from repro.cpu.costmodel import CPUSpec, CPUTimeBreakdown, cpu_time_for_session
+from repro.errors import ConfigError
+from repro.fpga.accelerator import CycleSimResult, LightRWAcceleratorSim
+from repro.fpga.config import LightRWConfig
+from repro.fpga.pcie import PCIeModel
+from repro.fpga.perfmodel import FPGAPerfModel, FPGATimeBreakdown
+from repro.graph.csr import CSRGraph
+from repro.walks.base import WalkAlgorithm
+from repro.walks.stepper import InverseTransformSampler, PWRSSampler, WalkSession, run_walks
+
+BACKENDS = ("fpga-model", "fpga-cycle", "cpu-baseline")
+
+
+@dataclass
+class RunResult:
+    """Walks plus modeled timing for one query batch."""
+
+    backend: str
+    algorithm: str
+    num_queries: int
+    total_steps: int
+    #: Walked paths of the functionally executed (possibly sampled) queries,
+    #: -1 padded, one row per executed query.
+    paths: np.ndarray
+    lengths: np.ndarray
+    kernel_s: float
+    pcie_s: float
+    breakdown: FPGATimeBreakdown | CPUTimeBreakdown | CycleSimResult
+    session: WalkSession | None = None
+    query_latency_s: np.ndarray | None = None
+    #: One-off setup cost outside the kernel: engine initialization for the
+    #: CPU baseline (zero for the FPGA backends, whose setup is the PCIe
+    #: transfer already counted in ``pcie_s``).
+    setup_s: float = 0.0
+
+    @property
+    def end_to_end_s(self) -> float:
+        return self.kernel_s + self.pcie_s + self.setup_s
+
+    @property
+    def steps_per_second(self) -> float:
+        """Kernel-time step throughput (the paper's figure-of-merit)."""
+        return self.total_steps / self.kernel_s if self.kernel_s > 0 else 0.0
+
+    @property
+    def pcie_fraction(self) -> float:
+        total = self.end_to_end_s
+        return self.pcie_s / total if total > 0 else 0.0
+
+    def latency_stats(self) -> BoxStats:
+        if self.query_latency_s is None:
+            raise ValueError("this run did not record per-query latencies")
+        return latency_box_stats(self.query_latency_s)
+
+
+class LightRW:
+    """User-facing engine running GDRWs on the modeled accelerator.
+
+    Parameters
+    ----------
+    graph:
+        The CSR graph (use :mod:`repro.graph` to build or load one).
+    config:
+        Accelerator configuration; defaults to the paper's deployment
+        (k=16, b1+b32 bursts, 2^12-entry degree-aware cache, 4 instances).
+    backend:
+        One of ``"fpga-model"``, ``"fpga-cycle"``, ``"cpu-baseline"``.
+    hardware_scale:
+        Dataset scale divisor for the scaled-platform rule; applied to the
+        config's cache (and the CPU spec's caches for the baseline).
+    seed:
+        Sampling seed; identical seeds reproduce identical walks across the
+        FPGA backends.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        config: LightRWConfig | None = None,
+        backend: str = "fpga-model",
+        hardware_scale: int = 1,
+        seed: int = 0,
+        cpu_spec: CPUSpec | None = None,
+        pcie: PCIeModel | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ConfigError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        self.graph = graph
+        self.backend = backend
+        self.seed = int(seed)
+        base_config = config or LightRWConfig()
+        if hardware_scale > 1 and base_config.hardware_scale == 1:
+            base_config = base_config.scaled(hardware_scale)
+        self.config = base_config
+        base_spec = cpu_spec or CPUSpec()
+        if hardware_scale > 1 and base_spec.hardware_scale == 1:
+            base_spec = base_spec.scaled(hardware_scale)
+        self.cpu_spec = base_spec
+        # The DMA setup latency is a fixed software cost; under the
+        # scaled-platform rule it shrinks with the dataset so the PCIe
+        # share of end-to-end time is preserved.
+        self.pcie = pcie or PCIeModel(
+            graph_copies=self.config.n_instances,
+            setup_latency_s=30e-6 / max(self.config.hardware_scale, 1),
+        )
+
+    def run(
+        self,
+        algorithm: WalkAlgorithm,
+        n_steps: int,
+        starts: np.ndarray | None = None,
+        max_sampled_queries: int = 4096,
+        record_latency: bool = True,
+        include_pcie: bool = True,
+    ) -> RunResult:
+        """Walk a query batch and model its execution.
+
+        Parameters
+        ----------
+        algorithm:
+            The GDRW weight-update function (MetaPathWalk, Node2VecWalk, ...).
+        n_steps:
+            Steps per query (5 for MetaPath, 80 for Node2Vec in the paper).
+        starts:
+            Start vertices; defaults to the paper's one-query-per-walkable-
+            vertex batch.
+        max_sampled_queries:
+            Functional-walk budget; larger batches are walked on a uniform
+            sample and the timing extrapolated (exact for the throughput
+            experiments, see DESIGN.md).  The cycle backend ignores this
+            and always walks everything it is given.
+        """
+        if starts is None:
+            starts = make_queries(self.graph, seed=self.seed)
+        starts = np.asarray(starts, dtype=np.int64)
+
+        if self.backend == "fpga-cycle":
+            return self._run_cycle(algorithm, starts, n_steps, include_pcie)
+
+        sampled, total = sample_queries(starts, max_sampled_queries, seed=self.seed)
+        if self.backend == "cpu-baseline":
+            return self._run_cpu(algorithm, sampled, total, n_steps)
+        return self._run_model(
+            algorithm, sampled, total, n_steps, record_latency, include_pcie
+        )
+
+    def run_restart(
+        self,
+        n_steps: int,
+        alpha: float = 0.15,
+        starts: np.ndarray | None = None,
+        max_sampled_queries: int = 4096,
+        include_pcie: bool = True,
+    ) -> RunResult:
+        """Random walk with restart (personalized PageRank) on the model.
+
+        Teleports are free steps for the hardware (the Query Controller
+        decides before any memory access), which the recorded trace
+        reflects; only the ``fpga-model`` backend supports this walk.
+        """
+        from repro.walks.ppr import RestartWalk, run_restart_walks
+
+        if self.backend != "fpga-model":
+            raise ConfigError("restart walks are supported on the fpga-model backend")
+        if starts is None:
+            starts = make_queries(self.graph, seed=self.seed)
+        sampled, total = sample_queries(
+            np.asarray(starts, dtype=np.int64), max_sampled_queries, seed=self.seed
+        )
+        session = run_restart_walks(
+            self.graph, sampled, n_steps, alpha=alpha, k=self.config.k, seed=self.seed
+        )
+        algorithm = RestartWalk(alpha)
+        model = FPGAPerfModel(self.config, algorithm)
+        breakdown = model.evaluate(session, total_queries=total)
+        pcie_s = (
+            self.pcie.round_trip_s(self.graph, total, breakdown.total_steps)
+            if include_pcie
+            else 0.0
+        )
+        return RunResult(
+            backend=self.backend,
+            algorithm=algorithm.name,
+            num_queries=total,
+            total_steps=breakdown.total_steps,
+            paths=session.paths,
+            lengths=session.lengths,
+            kernel_s=breakdown.kernel_s,
+            pcie_s=pcie_s,
+            breakdown=breakdown,
+            session=session,
+            query_latency_s=breakdown.query_latency_seconds(),
+        )
+
+    # -- backends ------------------------------------------------------------
+
+    def _run_model(
+        self,
+        algorithm: WalkAlgorithm,
+        starts: np.ndarray,
+        total_queries: int,
+        n_steps: int,
+        record_latency: bool,
+        include_pcie: bool,
+    ) -> RunResult:
+        sampler = PWRSSampler(k=self.config.k, seed=self.seed)
+        session = run_walks(self.graph, starts, n_steps, algorithm, sampler)
+        model = FPGAPerfModel(self.config, algorithm)
+        breakdown = model.evaluate(
+            session, total_queries=total_queries, record_latency=record_latency
+        )
+        pcie_s = (
+            self.pcie.round_trip_s(self.graph, total_queries, breakdown.total_steps)
+            if include_pcie
+            else 0.0
+        )
+        return RunResult(
+            backend=self.backend,
+            algorithm=algorithm.name,
+            num_queries=total_queries,
+            total_steps=breakdown.total_steps,
+            paths=session.paths,
+            lengths=session.lengths,
+            kernel_s=breakdown.kernel_s,
+            pcie_s=pcie_s,
+            breakdown=breakdown,
+            session=session,
+            query_latency_s=(
+                breakdown.query_latency_seconds() if record_latency else None
+            ),
+        )
+
+    def _run_cycle(
+        self,
+        algorithm: WalkAlgorithm,
+        starts: np.ndarray,
+        n_steps: int,
+        include_pcie: bool,
+    ) -> RunResult:
+        sim = LightRWAcceleratorSim(self.graph, self.config, algorithm, seed=self.seed)
+        result = sim.run(starts, n_steps)
+        n_queries = starts.size
+        max_len = max((len(p) for p in result.paths.values()), default=1)
+        paths = np.full((n_queries, max_len), -1, dtype=np.int64)
+        lengths = np.zeros(n_queries, dtype=np.int64)
+        for qid, path in result.paths.items():
+            paths[qid, : len(path)] = path
+            lengths[qid] = len(path) - 1
+        latencies = np.array(
+            [result.query_latency_cycles.get(q, 0) for q in range(n_queries)],
+            dtype=np.float64,
+        ) / self.config.frequency_hz
+        pcie_s = (
+            self.pcie.round_trip_s(self.graph, n_queries, result.total_steps)
+            if include_pcie
+            else 0.0
+        )
+        return RunResult(
+            backend=self.backend,
+            algorithm=algorithm.name,
+            num_queries=n_queries,
+            total_steps=result.total_steps,
+            paths=paths,
+            lengths=lengths,
+            kernel_s=result.kernel_s,
+            pcie_s=pcie_s,
+            breakdown=result,
+            query_latency_s=latencies,
+        )
+
+    def _run_cpu(
+        self,
+        algorithm: WalkAlgorithm,
+        starts: np.ndarray,
+        total_queries: int,
+        n_steps: int,
+    ) -> RunResult:
+        sampler = InverseTransformSampler(seed=self.seed)
+        session = run_walks(self.graph, starts, n_steps, algorithm, sampler)
+        timing = cpu_time_for_session(
+            session, algorithm, self.cpu_spec, total_queries=total_queries
+        )
+        return RunResult(
+            backend=self.backend,
+            algorithm=algorithm.name,
+            num_queries=total_queries,
+            total_steps=timing.total_steps,
+            paths=session.paths,
+            lengths=session.lengths,
+            kernel_s=timing.exec_s,
+            pcie_s=0.0,
+            setup_s=timing.init_time_s,
+            breakdown=timing,
+            session=session,
+            query_latency_s=(
+                timing.query_latency_s * self.cpu_spec.interleave_width
+                if timing.query_latency_s is not None
+                else None
+            ),
+        )

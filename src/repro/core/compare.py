@@ -1,0 +1,130 @@
+"""System comparison helper: LightRW vs the ThunderRW baseline.
+
+Runs the same workload through both modeled engines (sharing the same
+graph, query batch and scaled-platform rule) and reports the speedup —
+the computation behind Figures 14, 16 and 17 and Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.api import LightRW, RunResult
+from repro.core.queries import make_queries
+from repro.cpu.costmodel import CPUSpec
+from repro.fpga.config import LightRWConfig
+from repro.fpga.power import PowerModel
+from repro.graph.csr import CSRGraph
+from repro.walks.base import WalkAlgorithm
+
+
+@dataclass
+class SpeedupReport:
+    """One workload compared across the modeled systems."""
+
+    graph: str
+    algorithm: str
+    lightrw: RunResult
+    thunderrw: RunResult
+    thunderrw_pwrs: RunResult | None = None
+
+    @property
+    def speedup(self) -> float:
+        """LightRW end-to-end speedup over stock ThunderRW."""
+        return self.thunderrw.kernel_s / self.lightrw.end_to_end_s
+
+    @property
+    def kernel_speedup(self) -> float:
+        """Kernel-only speedup (excludes PCIe; Figures 16/17 use this)."""
+        return self.thunderrw.kernel_s / self.lightrw.kernel_s
+
+    @property
+    def pwrs_on_cpu_speedup(self) -> float | None:
+        """ThunderRW w/ PWRS relative to stock ThunderRW (Figure 14)."""
+        if self.thunderrw_pwrs is None:
+            return None
+        return self.thunderrw.kernel_s / self.thunderrw_pwrs.kernel_s
+
+    def power_efficiency_improvement(self) -> float:
+        model = PowerModel(self.algorithm)
+        return model.efficiency_improvement(
+            self.lightrw.end_to_end_s, self.thunderrw.kernel_s
+        )
+
+
+def compare_engines(
+    graph: CSRGraph,
+    algorithm: WalkAlgorithm,
+    n_steps: int,
+    hardware_scale: int = 1,
+    config: LightRWConfig | None = None,
+    cpu_spec: CPUSpec | None = None,
+    starts: np.ndarray | None = None,
+    n_queries: int | None = None,
+    max_sampled_queries: int = 2048,
+    include_pwrs_variant: bool = False,
+    seed: int = 0,
+) -> SpeedupReport:
+    """Run one workload through LightRW and ThunderRW models.
+
+    Both engines see the same start vertices and the same scaled-platform
+    rule; functional walks differ (each system samples with its own
+    method), as they do on real hardware.
+    """
+    if starts is None:
+        starts = make_queries(graph, n_queries=n_queries, seed=seed)
+
+    fpga = LightRW(
+        graph,
+        config=config,
+        backend="fpga-model",
+        hardware_scale=hardware_scale,
+        seed=seed,
+        cpu_spec=cpu_spec,
+    )
+    cpu = LightRW(
+        graph,
+        config=config,
+        backend="cpu-baseline",
+        hardware_scale=hardware_scale,
+        seed=seed,
+        cpu_spec=cpu_spec,
+    )
+    light = fpga.run(
+        algorithm, n_steps, starts=starts, max_sampled_queries=max_sampled_queries
+    )
+    thunder = cpu.run(
+        algorithm, n_steps, starts=starts, max_sampled_queries=max_sampled_queries
+    )
+    pwrs_result = None
+    if include_pwrs_variant:
+        from repro.cpu.engine import ThunderRWEngine
+        from repro.core.queries import sample_queries
+
+        sampled, total = sample_queries(starts, max_sampled_queries, seed=seed)
+        engine = ThunderRWEngine(
+            graph, spec=cpu.cpu_spec, sampler="pwrs", seed=seed
+        )
+        outcome = engine.run(sampled, n_steps, algorithm, total_queries=total)
+        pwrs_result = RunResult(
+            backend="cpu-baseline",
+            algorithm=algorithm.name,
+            num_queries=total,
+            total_steps=outcome.timing.total_steps,
+            paths=outcome.session.paths,
+            lengths=outcome.session.lengths,
+            kernel_s=outcome.timing.exec_s,
+            pcie_s=0.0,
+            setup_s=outcome.timing.init_time_s,
+            breakdown=outcome.timing,
+            session=outcome.session,
+        )
+    return SpeedupReport(
+        graph=graph.name,
+        algorithm=algorithm.name,
+        lightrw=light,
+        thunderrw=thunder,
+        thunderrw_pwrs=pwrs_result,
+    )

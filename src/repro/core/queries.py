@@ -1,0 +1,59 @@
+"""Query-batch construction (paper Section 6.1.4).
+
+The paper's evaluation issues one query per vertex with non-zero degree,
+with unique shuffled start vertices (following ThunderRW's methodology).
+:func:`make_queries` reproduces that; :func:`sample_queries` draws the
+uniform subsample the performance models extrapolate from when the full
+batch would be too expensive to walk functionally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.graph.csr import CSRGraph
+
+
+def make_queries(
+    graph: CSRGraph, n_queries: int | None = None, seed: int = 0, shuffle: bool = True
+) -> np.ndarray:
+    """Start vertices for a query batch.
+
+    Defaults to one query per non-zero-degree vertex.  When ``n_queries``
+    exceeds the number of walkable vertices the starts wrap around (the
+    sensitivity experiments sweep query counts past ``|V|``); when it is
+    smaller, a uniform subset is used.
+    """
+    walkable = graph.nonzero_degree_vertices()
+    if walkable.size == 0:
+        raise QueryError("graph has no vertex with out-edges")
+    rng = np.random.default_rng(seed)
+    if shuffle:
+        walkable = rng.permutation(walkable)
+    if n_queries is None:
+        return walkable
+    if n_queries <= 0:
+        raise QueryError(f"n_queries must be positive, got {n_queries}")
+    if n_queries <= walkable.size:
+        return walkable[:n_queries]
+    repeats = -(-n_queries // walkable.size)
+    return np.tile(walkable, repeats)[:n_queries]
+
+
+def sample_queries(
+    starts: np.ndarray, max_sampled: int, seed: int = 0
+) -> tuple[np.ndarray, int]:
+    """Uniform subsample of a query batch for sampled extrapolation.
+
+    Returns ``(sampled_starts, total_queries)``; when the batch already
+    fits, it is returned unchanged.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    if max_sampled <= 0:
+        raise QueryError(f"max_sampled must be positive, got {max_sampled}")
+    if starts.size <= max_sampled:
+        return starts, starts.size
+    rng = np.random.default_rng(seed)
+    picked = rng.choice(starts.size, size=max_sampled, replace=False)
+    return starts[np.sort(picked)], starts.size

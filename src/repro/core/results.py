@@ -1,0 +1,42 @@
+"""Result statistics helpers shared by the API and the benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """The five numbers of a box-and-whisker plot (paper Figure 15)."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+
+    def as_row(self, unit_scale: float = 1.0) -> dict[str, float]:
+        return {
+            "min": self.minimum * unit_scale,
+            "q1": self.q1 * unit_scale,
+            "median": self.median * unit_scale,
+            "q3": self.q3 * unit_scale,
+            "max": self.maximum * unit_scale,
+        }
+
+
+def latency_box_stats(latencies: np.ndarray) -> BoxStats:
+    """Quartile summary of a latency sample."""
+    values = np.asarray(latencies, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("latency sample is empty")
+    q1, median, q3 = np.percentile(values, [25.0, 50.0, 75.0])
+    return BoxStats(
+        minimum=float(values.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(values.max()),
+    )

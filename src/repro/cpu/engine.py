@@ -1,0 +1,114 @@
+"""The ThunderRW-style CPU walk engine (functional + modeled timing).
+
+:class:`ThunderRWEngine` runs the staged execution flow of Algorithm 2.1 —
+weight calculation, table initialization, generation — over a batch of
+queries.  Functionally it computes real walks through the shared vectorized
+stepper with inverse-transform sampling (the paper configures ThunderRW with
+exactly that method); its timing is produced by the analytic cost model in
+:mod:`repro.cpu.costmodel`.
+
+The ``sampler="pwrs"`` variant reproduces "ThunderRW w/ PWRS" of Figure 14:
+the parallel weighted reservoir sampler dropped into the CPU engine, which
+removes the intermediate table but pays for per-item random numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cpu.costmodel import CPUSpec, CPUTimeBreakdown, cpu_time_for_session
+from repro.errors import ConfigError
+from repro.graph.csr import CSRGraph
+from repro.walks.base import WalkAlgorithm
+from repro.walks.stepper import (
+    InverseTransformSampler,
+    PWRSSampler,
+    WalkSession,
+    run_walks,
+)
+
+
+@dataclass
+class ThunderRWResult:
+    """Walks plus the modeled CPU timing for one batch execution."""
+
+    session: WalkSession
+    timing: CPUTimeBreakdown
+
+    @property
+    def wall_s(self) -> float:
+        return self.timing.wall_s
+
+    @property
+    def steps_per_second(self) -> float:
+        return self.timing.steps_per_second
+
+
+class ThunderRWEngine:
+    """Modeled ThunderRW: staged CPU GDRW execution.
+
+    Parameters
+    ----------
+    graph:
+        The CSR graph.
+    spec:
+        Platform constants; pass ``CPUSpec().scaled(divisor)`` when the
+        graph is a scaled stand-in (see DESIGN.md's scaled-platform rule).
+    sampler:
+        ``"inverse-transform"`` (stock ThunderRW), ``"alias"`` (its other
+        table method), or ``"pwrs"`` (ThunderRW w/ PWRS).
+    seed:
+        Randomness seed for the walk sampling.
+    """
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        spec: CPUSpec | None = None,
+        sampler: str = "inverse-transform",
+        seed: int = 0,
+        pwrs_k: int = 4,
+    ) -> None:
+        if sampler not in ("inverse-transform", "alias", "pwrs"):
+            raise ConfigError(
+                "sampler must be 'inverse-transform', 'alias' or 'pwrs', "
+                f"got {sampler!r}"
+            )
+        self.graph = graph
+        self.spec = spec or CPUSpec()
+        self.sampler_kind = sampler
+        self.seed = int(seed)
+        # On a CPU the "lanes" of PWRS are SIMD lanes; 4 matches 128-bit
+        # vectors of 32-bit weights.
+        self.pwrs_k = int(pwrs_k)
+
+    def run(
+        self,
+        starts: np.ndarray,
+        n_steps: int,
+        algorithm: WalkAlgorithm,
+        total_queries: int | None = None,
+    ) -> ThunderRWResult:
+        """Execute one batch of queries and model its cost.
+
+        ``total_queries`` enables query-sampled extrapolation: ``starts``
+        is then treated as a uniform sample of that many queries.
+        """
+        if self.sampler_kind == "pwrs":
+            strategy = PWRSSampler(k=self.pwrs_k, seed=self.seed)
+        else:
+            # The alias and inverse-transform methods draw from the same
+            # per-step distribution; the functional walk uses the
+            # inverse-transform selector for both (their difference is in
+            # the cost model).
+            strategy = InverseTransformSampler(seed=self.seed)
+        session = run_walks(
+            self.graph, starts, n_steps, algorithm, strategy, record_trace=True
+        )
+        timing = cpu_time_for_session(
+            session, algorithm, self.spec, sampler=self.sampler_kind,
+            total_queries=total_queries,
+        )
+        return ThunderRWResult(session=session, timing=timing)

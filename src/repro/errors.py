@@ -1,0 +1,47 @@
+"""Exception hierarchy for the LightRW reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still getting
+precise types for programmatic handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when graph input data is malformed or internally inconsistent.
+
+    Examples: a ``row_index`` that is not monotonically non-decreasing, a
+    ``col_index`` entry referencing a vertex outside ``[0, num_vertices)``,
+    or mismatched array lengths between edges and edge weights.
+    """
+
+
+class QueryError(ReproError):
+    """Raised for invalid random-walk queries.
+
+    Examples: a start vertex outside the graph, a non-positive walk length,
+    or a MetaPath schema whose length does not cover the requested walk.
+    """
+
+
+class ConfigError(ReproError):
+    """Raised when an accelerator or engine configuration is invalid.
+
+    Examples: a sampler parallelism ``k`` that is not a power of two, a burst
+    strategy whose short-burst length exceeds the long-burst length, or a
+    cache capacity that is not a power of two.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the cycle-level simulator reaches an inconsistent state.
+
+    This indicates a bug in a hardware-module model (for instance a FIFO
+    pushed while full), never a user input problem, and is therefore a
+    condition tests treat as fatal.
+    """

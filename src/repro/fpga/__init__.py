@@ -1,0 +1,72 @@
+"""FPGA accelerator substrate: LightRW as a cycle-level simulator.
+
+The physical LightRW runs on a Xilinx Alveo U250; this package reproduces
+its architecture in software at two fidelity levels that produce the *same
+walks* (per-query decorrelated RNG — see :mod:`repro.walks.stepper`):
+
+* :mod:`repro.fpga.accelerator` — the clocked simulator: FIFOs, pipeline
+  module models and a DRAM channel ticked cycle by cycle.
+* :mod:`repro.fpga.perfmodel` — the analytic model: the identical module
+  cost equations evaluated over a recorded walk trace without per-cycle
+  ticking; validated against the clocked simulator and used at graph scale.
+
+Host-side concerns — PCIe transfer, power, resource utilization — have
+their own parametric models matching the paper's Tables 3–5.
+"""
+
+from repro.fpga.burst import BurstStrategy, FIXED_LONG, SHORT_ONLY, plan_bursts
+from repro.fpga.cache import (
+    DegreeAwareCache,
+    DirectMappedCache,
+    FIFOCache,
+    LRUCache,
+    simulate_degree_aware,
+    simulate_direct_mapped,
+)
+from repro.fpga.config import LightRWConfig
+from repro.fpga.distributed import DistributedLightRW, NetworkSpec
+from repro.fpga.dram import DRAMTimings, burst_bandwidth_gbps
+from repro.fpga.platforms import U280, u250_config, u280_hbm_config
+from repro.fpga.queueing import ServerModel, response_curve
+from repro.fpga.roofline import RooflinePoint, ridge_point, roofline_point
+from repro.fpga.sweep import DesignSpaceExplorer, sweep_design_space
+from repro.fpga.pcie import PCIeModel
+from repro.fpga.perfmodel import FPGAPerfModel, FPGATimeBreakdown
+from repro.fpga.power import PowerModel
+from repro.fpga.resources import ResourceModel, U250
+from repro.fpga.wrs_sampler import WRSSamplerModel
+
+__all__ = [
+    "BurstStrategy",
+    "DegreeAwareCache",
+    "DirectMappedCache",
+    "DRAMTimings",
+    "DistributedLightRW",
+    "NetworkSpec",
+    "FIFOCache",
+    "FIXED_LONG",
+    "FPGAPerfModel",
+    "FPGATimeBreakdown",
+    "LRUCache",
+    "LightRWConfig",
+    "PCIeModel",
+    "PowerModel",
+    "ResourceModel",
+    "ServerModel",
+    "DesignSpaceExplorer",
+    "SHORT_ONLY",
+    "U250",
+    "U280",
+    "WRSSamplerModel",
+    "burst_bandwidth_gbps",
+    "u250_config",
+    "u280_hbm_config",
+    "response_curve",
+    "RooflinePoint",
+    "ridge_point",
+    "roofline_point",
+    "sweep_design_space",
+    "plan_bursts",
+    "simulate_degree_aware",
+    "simulate_direct_mapped",
+]

@@ -1,0 +1,174 @@
+"""Distributed LightRW — the paper's stated future work, modeled.
+
+Section 8 of the paper: "we plan to develop a distributed version of
+LightRW to leverage high-speed network interfaces (e.g., InfiniBand and
+100G Ethernet) and open-source network frameworks on FPGAs (OpenNIC,
+Corundum)."
+
+This module models that system so its scaling behaviour can be studied
+before anyone writes RTL:
+
+* the graph is **hash-partitioned by vertex** across ``n_boards``; each
+  board holds the adjacency of its vertices (unlike the single-board
+  deployment, the graph is *partitioned*, not replicated);
+* a walk step whose current vertex lives on another board forwards the
+  walker state over the network (a small fixed-size message) — the
+  classic walker-migration design of distributed walk engines
+  (KnightKing);
+* each board runs the ordinary LightRW pipeline on its local steps, so
+  per-board kernel time comes from the existing performance model, and
+  the network adds a bandwidth term plus a per-message overhead.
+
+The model answers the question future work asks: at what partition count
+does the network, rather than DRAM, become the bottleneck?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fpga.config import LightRWConfig
+from repro.fpga.perfmodel import FPGAPerfModel
+from repro.units import GIGA
+from repro.walks.base import WalkAlgorithm
+from repro.walks.stepper import WalkSession
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The inter-board fabric (100G Ethernet by default)."""
+
+    bandwidth_bytes_per_s: float = 12.5e9  # 100 Gb/s
+    #: Cycles of NIC/protocol overhead per migrated walker at 300 MHz.
+    per_message_cycles: float = 30.0
+    #: Bytes per walker-migration message (query state: id, step, vertex,
+    #: prev, reservoir state, RNG counter).
+    message_bytes: int = 48
+
+
+@dataclass
+class DistributedBreakdown:
+    """Modeled distributed execution of one walk session."""
+
+    n_boards: int
+    local_steps: int
+    migrated_steps: int
+    kernel_s: float
+    network_s: float
+    per_board_kernel_s: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def total_steps(self) -> int:
+        return self.local_steps + self.migrated_steps
+
+    @property
+    def migration_fraction(self) -> float:
+        return self.migrated_steps / self.total_steps if self.total_steps else 0.0
+
+    @property
+    def wall_s(self) -> float:
+        # Network transfers overlap compute only partially: the walker
+        # cannot take its next step until it has arrived.
+        return max(self.kernel_s, self.network_s) + 0.25 * min(
+            self.kernel_s, self.network_s
+        )
+
+    @property
+    def steps_per_second(self) -> float:
+        return self.total_steps / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class DistributedLightRW:
+    """Performance model of a multi-board LightRW deployment."""
+
+    def __init__(
+        self,
+        config: LightRWConfig,
+        algorithm: WalkAlgorithm,
+        n_boards: int,
+        network: NetworkSpec | None = None,
+        assignment: np.ndarray | None = None,
+    ) -> None:
+        if n_boards <= 0:
+            raise ConfigError(f"n_boards must be positive, got {n_boards}")
+        self.config = config
+        self.algorithm = algorithm
+        self.n_boards = n_boards
+        self.network = network or NetworkSpec()
+        if assignment is not None:
+            assignment = np.asarray(assignment)
+            if assignment.size and int(assignment.max()) >= n_boards:
+                raise ConfigError("assignment references a board beyond n_boards")
+        #: Vertex -> board map; defaults to hash partitioning (see
+        #: :mod:`repro.graph.partition` for alternatives).
+        self.assignment = assignment
+
+    def _board_of(self, vertices: np.ndarray) -> np.ndarray:
+        if self.assignment is not None:
+            return self.assignment[vertices]
+        return vertices % self.n_boards
+
+    def evaluate(self, session: WalkSession) -> DistributedBreakdown:
+        """Model the distributed execution of a recorded walk session.
+
+        Every step executes on the board owning its *current* vertex; a
+        step whose successor lives elsewhere emits one migration message.
+        Per-board pipeline time reuses the single-board model over that
+        board's slice of the trace.
+        """
+        if not session.records:
+            raise ConfigError("session has no trace records")
+
+        curr = np.concatenate([r.curr for r in session.records])
+        nxt = np.concatenate([r.next_vertex for r in session.records])
+        boards = self._board_of(curr)
+        moved = nxt >= 0
+        migrations = int((self._board_of(nxt[moved]) != boards[moved]).sum())
+
+        # Per-board kernel time: evaluate the single-board model on each
+        # board's share of the steps.  Queries are already spread across
+        # instances inside a board; across boards the walker location
+        # decides.
+        model = FPGAPerfModel(self.config, self.algorithm)
+        full = model.evaluate(session, record_latency=False)
+        board_share = np.bincount(boards, minlength=self.n_boards) / max(curr.size, 1)
+        per_instance = np.maximum(
+            np.maximum(full.mem_cycles, full.sampler_cycles), full.controller_cycles
+        )
+        single_board_cycles = float(per_instance.max(initial=0.0))
+        # Each board processes its share of the steps with a full pipeline;
+        # the busiest board (hash imbalance) sets the pace.
+        per_board_cycles = single_board_cycles * board_share
+        kernel_s = (
+            per_board_cycles.max(initial=0.0) + full.fill_cycles
+        ) / self.config.frequency_hz
+
+        freq = self.config.frequency_hz
+        network_s = migrations * (
+            self.network.message_bytes / self.network.bandwidth_bytes_per_s
+            + self.network.per_message_cycles / freq
+        ) / self.n_boards  # links are per-board, transfers parallelize
+
+        return DistributedBreakdown(
+            n_boards=self.n_boards,
+            local_steps=int(curr.size - migrations),
+            migrated_steps=migrations,
+            kernel_s=kernel_s,
+            network_s=network_s,
+            per_board_kernel_s=per_board_cycles / freq,
+        )
+
+    def scaling_curve(
+        self, session: WalkSession, board_counts: list[int]
+    ) -> list[DistributedBreakdown]:
+        """Evaluate a sweep of board counts over the same workload."""
+        results = []
+        for boards in board_counts:
+            model = DistributedLightRW(
+                self.config, self.algorithm, boards, self.network
+            )
+            results.append(model.evaluate(session))
+        return results

@@ -1,0 +1,87 @@
+"""DRAM channel timing model of the Alveo U250 board.
+
+The accelerator sees one DDR4 channel per LightRW instance through a
+512-bit (64-byte) AXI interface at the 300 MHz kernel clock.  Two
+parameters govern everything the paper measures about it:
+
+* ``request_overhead_cycles`` — fixed interface cycles a read request
+  occupies besides its data beats (command, row activation, turnaround);
+* ``latency_cycles`` — cycles from issuing a request until its first data
+  beat arrives (what a *dependent* random access pays).
+
+With ``overhead = 5`` the achievable bandwidth
+
+    BW(S) = 64 B x S / (S + overhead) x 300 MHz
+
+reproduces the paper's Figure 6 curve: ~3.2 GB/s at burst length 1 rising
+to the measured 17.57 GB/s peak at burst length 64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import GIGA
+
+#: AXI data width of one channel (bytes per beat).
+BUS_BYTES = 64
+
+#: Measured peak sequential bandwidth of one channel (paper Figure 6).
+PEAK_BANDWIDTH_GBPS = 17.57
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """Timing constants of one DRAM channel at the kernel clock."""
+
+    bus_bytes: int = BUS_BYTES
+    #: Interface cycles per request beyond the data beats.
+    request_overhead_cycles: int = 5
+    #: Extra per-request cycles paid by the dynamic burst engine's *long*
+    #: pipeline: reorder-buffer fill and crossbar arbitration.  This is the
+    #: cost that makes tiny long bursts (b1+b2) lose to the short-only
+    #: baseline in the paper's Figure 12 while b1+b32 amortizes it away.
+    long_pipe_extra_cycles: int = 8
+    #: Cycles from request issue to first data beat (random-access latency,
+    #: ~200 ns at 300 MHz).
+    latency_cycles: int = 60
+    #: Kernel clock the interface runs at (Hz).
+    frequency_hz: float = 300e6
+    #: Hard ceiling on sustainable bandwidth (GB/s) — the DDR4 device
+    #: limit, below the raw interface rate.
+    peak_bandwidth_gbps: float = PEAK_BANDWIDTH_GBPS
+
+    def __post_init__(self) -> None:
+        if self.bus_bytes <= 0 or self.request_overhead_cycles < 0:
+            raise ConfigError("invalid DRAM timing parameters")
+        if self.latency_cycles < 0 or self.frequency_hz <= 0:
+            raise ConfigError("invalid DRAM timing parameters")
+
+    def request_cycles(self, beats) -> "int | object":
+        """Interface cycles one request of ``beats`` data beats occupies.
+
+        Accepts scalars or numpy arrays (vectorized use by the fast model).
+        """
+        return beats + self.request_overhead_cycles
+
+    @property
+    def min_cycles_per_beat(self) -> float:
+        """Interface cycles per beat imposed by the device bandwidth cap."""
+        raw = self.bus_bytes * self.frequency_hz / GIGA  # GB/s at 1 beat/cycle
+        return max(raw / self.peak_bandwidth_gbps, 1.0)
+
+
+def burst_bandwidth_gbps(timings: DRAMTimings, burst_beats: int) -> float:
+    """Sustained bandwidth of back-to-back bursts of ``burst_beats`` beats.
+
+    This is the blue curve of the paper's Figure 6.
+    """
+    if burst_beats <= 0:
+        raise ConfigError(f"burst length must be positive, got {burst_beats}")
+    cycles = timings.request_cycles(burst_beats)
+    # The device cap also binds: each beat cannot stream faster than the
+    # DDR4 core sustains.
+    cycles = max(cycles, burst_beats * timings.min_cycles_per_beat)
+    bytes_per_request = burst_beats * timings.bus_bytes
+    return bytes_per_request * timings.frequency_hz / cycles / GIGA

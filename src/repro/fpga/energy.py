@@ -1,0 +1,65 @@
+"""Energy accounting — Table 3 extended to joules per step.
+
+The paper reports power efficiency as execution-time-per-watt ratios; for
+system builders the more actionable quantities are energy per sampled walk
+step and the energy-delay product (EDP).  This module derives both from
+the same power envelopes and modeled times, for any pair of runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.power import PowerModel
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy figures of one execution."""
+
+    platform: str
+    time_s: float
+    watts: float
+
+    @property
+    def joules(self) -> float:
+        return self.time_s * self.watts
+
+    def joules_per_step(self, total_steps: int) -> float:
+        if total_steps <= 0:
+            raise ValueError(f"total_steps must be positive, got {total_steps}")
+        return self.joules / total_steps
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP in joule-seconds (lower is better)."""
+        return self.joules * self.time_s
+
+
+def energy_comparison(
+    application: str,
+    fpga_time_s: float,
+    cpu_time_s: float,
+    total_steps: int,
+    fpga_utilization: float = 0.8,
+    cpu_utilization: float = 0.8,
+) -> dict[str, float]:
+    """Side-by-side energy figures for one workload on both platforms.
+
+    Returns a flat dict suitable for an experiment row: per-platform
+    joules, nJ/step, EDP, and the improvement ratios (the Table 3 metric
+    plus the stricter EDP ratio, which squares the speedup advantage).
+    """
+    if fpga_time_s <= 0 or cpu_time_s <= 0:
+        raise ValueError("execution times must be positive")
+    power = PowerModel(application)
+    fpga = EnergyReport("lightrw", fpga_time_s, power.fpga_watts(fpga_utilization))
+    cpu = EnergyReport("thunderrw", cpu_time_s, power.cpu_watts(cpu_utilization))
+    return {
+        "lightrw_joules": fpga.joules,
+        "thunderrw_joules": cpu.joules,
+        "lightrw_nj_per_step": fpga.joules_per_step(total_steps) * 1e9,
+        "thunderrw_nj_per_step": cpu.joules_per_step(total_steps) * 1e9,
+        "energy_improvement": cpu.joules / fpga.joules,
+        "edp_improvement": cpu.energy_delay_product / fpga.energy_delay_product,
+    }

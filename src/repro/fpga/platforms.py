@@ -1,0 +1,51 @@
+"""Named FPGA platform presets.
+
+The paper deploys on an Alveo U250 (four DDR4 channels); its related-work
+section contrasts with HBM boards (Su et al.'s sampler on HBM), and its
+future work points at multi-board scaling.  These presets make those
+deployments one-liners:
+
+>>> from repro.fpga.platforms import u250_config, u280_hbm_config
+>>> config = u280_hbm_config()          # 32 HBM pseudo-channels
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.fpga.config import LightRWConfig
+from repro.fpga.dram import DRAMTimings
+from repro.fpga.resources import FPGADevice, U250
+
+#: Alveo U280: smaller fabric, 32 HBM2 pseudo-channels.
+U280 = FPGADevice(name="Alveo U280", luts=1_304_000, regs=2_607_000, brams=2_016, dsps=9_024)
+
+#: One HBM2 pseudo-channel: 256-bit bus, ~14.4 GB/s sustained, lower
+#: per-request overhead than DDR4 but also lower per-channel bandwidth.
+HBM_PSEUDO_CHANNEL = DRAMTimings(
+    bus_bytes=32,
+    request_overhead_cycles=4,
+    latency_cycles=75,
+    frequency_hz=300e6,
+    peak_bandwidth_gbps=13.8,
+    long_pipe_extra_cycles=6,
+)
+
+
+def u250_config(**overrides) -> LightRWConfig:
+    """The paper's deployment: 4 DDR4 channels, k = 16, b1+b32."""
+    return replace(LightRWConfig(), **overrides) if overrides else LightRWConfig()
+
+
+def u280_hbm_config(n_channels: int = 16, **overrides) -> LightRWConfig:
+    """An HBM deployment: many narrow channels, one instance per channel.
+
+    The bus is half as wide, so a k = 8 sampler already saturates one
+    pseudo-channel; throughput comes from channel count instead.
+    """
+    base = LightRWConfig(
+        k=8,
+        n_instances=n_channels,
+        dram=HBM_PSEUDO_CHANNEL,
+    )
+    return replace(base, **overrides) if overrides else base

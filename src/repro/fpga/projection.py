@@ -1,0 +1,130 @@
+"""Capacity projection for terabyte-scale graphs (paper Section 8).
+
+The paper closes with: "processing large graphs (e.g., in Terabyte scale)
+may require multiple FPGA boards with sufficient computation power and
+DRAM."  This module turns that remark into numbers: given a target graph's
+size, how many boards does a distributed LightRW need, and what throughput
+should the deployment expect?
+
+Memory sizing follows the deployment model of Figure 9 — within one board
+every instance holds a private graph copy, so a board's usable capacity is
+``board_dram / instances_per_channel-sharing`` — while across boards the
+graph is partitioned (the distributed design of
+:mod:`repro.fpga.distributed`), so aggregate capacity scales with board
+count.
+
+Throughput projection uses the measured per-channel step rates of the
+scaled experiments, degraded by the walker-migration network factor of the
+distributed model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fpga.distributed import NetworkSpec
+from repro.graph.csr import EDGE_RECORD_BYTES, NEIGHBOR_INFO_BYTES
+
+
+@dataclass(frozen=True)
+class BoardSpec:
+    """Memory and channel envelope of one accelerator board."""
+
+    name: str = "Alveo U250"
+    dram_bytes: int = 64 << 30
+    n_channels: int = 4
+    #: Steps/s one channel sustains (from the paper's Figure 16 numbers:
+    #: 4.8e7 aggregate over 4 channels for MetaPath).
+    steps_per_second_per_channel: float = 1.2e7
+
+
+@dataclass
+class CapacityPlan:
+    """The projected deployment for one target graph."""
+
+    graph_bytes_per_copy: int
+    boards_for_capacity: int
+    boards_planned: int
+    replicated_within_board: bool
+    projected_steps_per_second: float
+    network_bound_fraction: float
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "graph_size": self.graph_bytes_per_copy,
+            "boards": self.boards_planned,
+            "replication": "per-channel" if self.replicated_within_board else "partitioned",
+            "steps_per_s": f"{self.projected_steps_per_second:.3g}",
+            "network_bound": f"{self.network_bound_fraction:.0%}",
+        }
+
+
+def graph_footprint_bytes(num_vertices: int, num_edges: int, weighted: bool = True) -> int:
+    """DRAM bytes of one CSR copy at the accelerator's layout."""
+    edge_bytes = EDGE_RECORD_BYTES + (4 if weighted else 0)
+    return num_vertices * NEIGHBOR_INFO_BYTES + num_edges * edge_bytes
+
+
+def plan_capacity(
+    num_vertices: int,
+    num_edges: int,
+    board: BoardSpec | None = None,
+    network: NetworkSpec | None = None,
+    weighted: bool = True,
+    target_boards: int | None = None,
+) -> CapacityPlan:
+    """Project the deployment for a graph of the given size.
+
+    If the graph fits a single channel's share of a board, the paper's
+    replicated single-board deployment applies.  Otherwise boards are added
+    until the *partitioned* graph fits (each channel of each board holds
+    its partition), and throughput is the aggregate channel rate degraded
+    by walker migration (fraction ``(B-1)/B`` of steps cross the network
+    under hash partitioning).
+    """
+    if num_vertices <= 0 or num_edges < 0:
+        raise ConfigError("graph size must be positive")
+    board = board or BoardSpec()
+    network = network or NetworkSpec()
+    footprint = graph_footprint_bytes(num_vertices, num_edges, weighted)
+
+    per_channel_budget = board.dram_bytes // board.n_channels
+    replicated = footprint <= per_channel_budget
+    if replicated:
+        boards_needed = 1
+    else:
+        # Partitioned: the whole deployment's DRAM must hold one copy,
+        # with a 2x headroom factor for partition imbalance and buffers.
+        boards_needed = max(int(np.ceil(2 * footprint / board.dram_bytes)), 2)
+    boards = target_boards or boards_needed
+    if boards < boards_needed:
+        raise ConfigError(
+            f"{boards} boards cannot hold the graph; need >= {boards_needed}"
+        )
+
+    raw_rate = board.steps_per_second_per_channel * board.n_channels * boards
+    if boards == 1:
+        migration = 0.0
+        projected = raw_rate
+        network_bound = 0.0
+    else:
+        migration = (boards - 1) / boards
+        # Each migrated step costs a message; the per-board link supports
+        # bandwidth / message_bytes migrations per second.
+        link_rate = network.bandwidth_bytes_per_s / network.message_bytes * boards
+        network_cap = link_rate / max(migration, 1e-9)
+        projected = min(raw_rate, network_cap)
+        # How close the deployment runs to its network ceiling (1.0 =
+        # fully network-bound).
+        network_bound = min(raw_rate / network_cap, 1.0)
+    return CapacityPlan(
+        graph_bytes_per_copy=footprint,
+        boards_for_capacity=boards_needed,
+        boards_planned=boards,
+        replicated_within_board=replicated,
+        projected_steps_per_second=projected,
+        network_bound_fraction=network_bound,
+    )

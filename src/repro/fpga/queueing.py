@@ -1,0 +1,117 @@
+"""Open-loop query arrival model — the "real-time analytics" claim.
+
+Section 6.5.2 argues LightRW's low, deterministic latency suits real-time
+graph analytics.  The paper measures closed batches; this model asks the
+open-system question: queries arrive continuously at rate λ — what
+response time does each system deliver, and where does it saturate?
+
+Each engine is modeled as an M/G/1-style server pool:
+
+* **service rate** μ = modeled sustained steps/s ÷ steps per query;
+* **service variability** from the measured per-query latency sample
+  (degree variance makes service times heavy-tailed);
+* mean response time via Pollaczek–Khinchine on the pooled server, plus
+  the base service latency.
+
+The qualitative outcome the claim predicts: LightRW's higher μ and lower
+service variance give it both a later saturation point and a flatter
+response-time curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ServerModel:
+    """One engine as a queueing server."""
+
+    name: str
+    #: Mean service time of one query (s).
+    mean_service_s: float
+    #: Squared coefficient of variation of service time (Var/Mean^2).
+    service_scv: float
+    #: Sustained query completion rate when fully loaded (1/s).
+    capacity_qps: float
+
+    def __post_init__(self) -> None:
+        if self.mean_service_s <= 0 or self.capacity_qps <= 0:
+            raise ConfigError("service time and capacity must be positive")
+        if self.service_scv < 0:
+            raise ConfigError("squared coefficient of variation must be >= 0")
+
+    @classmethod
+    def from_latency_sample(
+        cls, name: str, latencies_s: np.ndarray, capacity_qps: float
+    ) -> "ServerModel":
+        """Build the model from a per-query latency sample (Figure 15's)."""
+        latencies_s = np.asarray(latencies_s, dtype=np.float64)
+        if latencies_s.size == 0:
+            raise ConfigError("latency sample is empty")
+        mean = float(latencies_s.mean())
+        variance = float(latencies_s.var())
+        return cls(
+            name=name,
+            mean_service_s=mean,
+            service_scv=variance / (mean**2) if mean > 0 else 0.0,
+            capacity_qps=capacity_qps,
+        )
+
+    def utilization(self, arrival_qps: float) -> float:
+        return arrival_qps / self.capacity_qps
+
+    def mean_response_s(self, arrival_qps: float) -> float:
+        """Mean response time under Poisson arrivals (P-K formula).
+
+        Returns ``inf`` at or beyond saturation.
+        """
+        if arrival_qps < 0:
+            raise ConfigError("arrival rate must be non-negative")
+        rho = self.utilization(arrival_qps)
+        if rho >= 1.0:
+            return float("inf")
+        # Waiting time of an M/G/1 queue with the pooled effective service
+        # time 1/capacity (the pool's bottleneck), scaled by the service
+        # variability.
+        effective_service = 1.0 / self.capacity_qps
+        wait = (
+            rho
+            * effective_service
+            * (1.0 + self.service_scv)
+            / (2.0 * (1.0 - rho))
+        )
+        return self.mean_service_s + wait
+
+    def p99_response_s(self, arrival_qps: float) -> float:
+        """Approximate 99th percentile (exponential-tail approximation)."""
+        mean = self.mean_response_s(arrival_qps)
+        if not np.isfinite(mean):
+            return mean
+        wait = mean - self.mean_service_s
+        # ln(100) ~ 4.6 tail factor on the waiting component.
+        return self.mean_service_s * (1.0 + 0.5 * np.sqrt(self.service_scv)) + 4.6 * wait
+
+
+def response_curve(
+    server: ServerModel, load_fractions: list[float]
+) -> list[dict[str, float]]:
+    """Mean/p99 response times across utilization levels."""
+    rows = []
+    for fraction in load_fractions:
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigError(f"load fraction must be in [0, 1), got {fraction}")
+        arrival = fraction * server.capacity_qps
+        rows.append(
+            {
+                "load": fraction,
+                "arrival_qps": arrival,
+                "mean_response_s": server.mean_response_s(arrival),
+                "p99_response_s": server.p99_response_s(arrival),
+            }
+        )
+    return rows

@@ -1,0 +1,100 @@
+"""Roofline analysis of GDRW workloads on the accelerator.
+
+The paper's core argument — GDRWs are memory-bound and a custom memory
+system is where the performance lives — in the standard roofline frame:
+
+* the **compute roof** is the sampler fabric: ``k`` items per cycle;
+* the **memory roof** is the channel bandwidth over the achieved
+  valid-data ratio (wasted bytes lower the *effective* roof);
+* a workload's **operational intensity** is items sampled per DRAM byte
+  actually moved.
+
+GDRW intensity is fixed by the data layout (one 4-byte record must move
+per candidate item, plus row lookups and second-order refetches), so every
+GDRW sits far left of the ridge point — the roofline way of saying what
+Table 1 measures on the CPU and why Figure 10a saturates at k = 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.config import LightRWConfig
+from repro.fpga.perfmodel import FPGATimeBreakdown
+from repro.units import GIGA
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload positioned under the machine's roofs."""
+
+    label: str
+    #: Items sampled per byte moved from DRAM (operational intensity).
+    intensity_items_per_byte: float
+    #: Achieved sampling rate (items/s).
+    achieved_items_per_s: float
+    #: The two roofs (items/s).
+    compute_roof: float
+    memory_roof_at_intensity: float
+
+    @property
+    def bound(self) -> str:
+        return (
+            "memory"
+            if self.memory_roof_at_intensity < self.compute_roof
+            else "compute"
+        )
+
+    @property
+    def roof_at_intensity(self) -> float:
+        return min(self.compute_roof, self.memory_roof_at_intensity)
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved rate as a fraction of the binding roof."""
+        roof = self.roof_at_intensity
+        return self.achieved_items_per_s / roof if roof > 0 else 0.0
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "workload": self.label,
+            "intensity_items_per_B": round(self.intensity_items_per_byte, 4),
+            "achieved_items_per_s": f"{self.achieved_items_per_s:.3g}",
+            "roof_items_per_s": f"{self.roof_at_intensity:.3g}",
+            "bound": self.bound,
+            "efficiency": f"{self.efficiency:.0%}",
+        }
+
+
+def ridge_point(config: LightRWConfig) -> float:
+    """Intensity (items/byte) where the compute and memory roofs meet."""
+    compute = config.k * config.frequency_hz * config.n_instances
+    memory_bytes = config.dram.peak_bandwidth_gbps * GIGA * config.n_instances
+    return compute / memory_bytes
+
+
+def roofline_point(
+    label: str, breakdown: FPGATimeBreakdown, items_sampled: int
+) -> RooflinePoint:
+    """Position a modeled execution under its configuration's roofs.
+
+    ``items_sampled`` is the candidate count the sampler consumed (the
+    roofline's work unit); the bytes come from the breakdown's loaded-byte
+    accounting, so wasted burst data lowers the intensity exactly as it
+    does on hardware.
+    """
+    config = breakdown.config
+    if items_sampled <= 0:
+        raise ValueError(f"items_sampled must be positive, got {items_sampled}")
+    if breakdown.bytes_loaded <= 0:
+        raise ValueError("breakdown moved no bytes; nothing to position")
+    intensity = items_sampled / breakdown.bytes_loaded
+    compute_roof = config.k * config.frequency_hz * config.n_instances
+    memory_bw = config.dram.peak_bandwidth_gbps * GIGA * config.n_instances
+    return RooflinePoint(
+        label=label,
+        intensity_items_per_byte=intensity,
+        achieved_items_per_s=items_sampled / breakdown.kernel_s,
+        compute_roof=compute_roof,
+        memory_roof_at_intensity=intensity * memory_bw,
+    )

@@ -1,0 +1,15 @@
+"""Cycle-level simulation kernel.
+
+A deliberately small discrete-clock framework: :class:`~repro.fpga.sim.fifo.FIFO`
+channels with two-phase commit (a push becomes visible to the consumer on
+the *next* cycle, like a registered hardware FIFO), :class:`~repro.fpga.sim.module.Module`
+stages with a per-cycle ``tick``, and a :class:`~repro.fpga.sim.clock.Simulator`
+that drives them.  The LightRW pipeline models in
+:mod:`repro.fpga.modules` are built on these pieces.
+"""
+
+from repro.fpga.sim.clock import Simulator
+from repro.fpga.sim.fifo import FIFO
+from repro.fpga.sim.module import Module
+
+__all__ = ["FIFO", "Module", "Simulator"]

@@ -1,0 +1,51 @@
+"""The cycle driver.
+
+Ticks every module once per cycle and then commits every FIFO, until a
+completion predicate holds (typically "all queries finished and the
+pipeline drained") or a cycle budget is exhausted — the latter raising
+:class:`~repro.errors.SimulationError` so a deadlocked pipeline model fails
+loudly in tests instead of spinning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.fpga.sim.fifo import FIFO
+from repro.fpga.sim.module import Module
+
+
+class Simulator:
+    """Drives a set of modules and FIFOs through clock cycles."""
+
+    def __init__(self, modules: list[Module], fifos: list[FIFO]) -> None:
+        if not modules:
+            raise SimulationError("simulator needs at least one module")
+        self.modules = modules
+        self.fifos = fifos
+        self.cycle = 0
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        for module in self.modules:
+            module.tick(self.cycle)
+        for fifo in self.fifos:
+            fifo.commit()
+        self.cycle += 1
+
+    def run_until(
+        self, done: Callable[[], bool], max_cycles: int = 10_000_000
+    ) -> int:
+        """Run until ``done()`` holds; returns the cycle count."""
+        while not done():
+            if self.cycle >= max_cycles:
+                state = ", ".join(
+                    f"{f.name}={len(f)}" for f in self.fifos if len(f)
+                )
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles "
+                    f"(likely deadlock; non-empty FIFOs: {state or 'none'})"
+                )
+            self.step()
+        return self.cycle

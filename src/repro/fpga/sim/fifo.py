@@ -1,0 +1,70 @@
+"""Registered FIFO channel for the cycle simulator.
+
+Semantics match a hardware FIFO with registered output: a value pushed in
+cycle ``t`` becomes poppable in cycle ``t+1`` (the simulator calls
+:meth:`commit` between cycles).  ``can_push`` accounts for in-flight
+pushes so a stage can never overfill within a cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+class FIFO:
+    """Bounded FIFO with two-phase (push-then-commit) semantics."""
+
+    def __init__(self, name: str, depth: int = 64) -> None:
+        if depth <= 0:
+            raise SimulationError(f"FIFO {name!r} depth must be positive, got {depth}")
+        self.name = name
+        self.depth = depth
+        self._queue: deque[Any] = deque()
+        self._pending: list[Any] = []
+        self.total_pushed = 0
+        self.max_occupancy = 0
+
+    # -- producer side -------------------------------------------------------
+
+    def can_push(self, count: int = 1) -> bool:
+        return len(self._queue) + len(self._pending) + count <= self.depth
+
+    def push(self, item: Any) -> None:
+        if not self.can_push():
+            raise SimulationError(f"push to full FIFO {self.name!r}")
+        self._pending.append(item)
+        self.total_pushed += 1
+
+    # -- consumer side -------------------------------------------------------
+
+    def can_pop(self) -> bool:
+        return bool(self._queue)
+
+    def peek(self) -> Any:
+        if not self._queue:
+            raise SimulationError(f"peek on empty FIFO {self.name!r}")
+        return self._queue[0]
+
+    def pop(self) -> Any:
+        if not self._queue:
+            raise SimulationError(f"pop from empty FIFO {self.name!r}")
+        return self._queue.popleft()
+
+    # -- simulator hooks -------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make this cycle's pushes visible; called once per cycle."""
+        if self._pending:
+            self._queue.extend(self._pending)
+            self._pending.clear()
+        if len(self._queue) > self.max_occupancy:
+            self.max_occupancy = len(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FIFO({self.name!r}, {len(self._queue)}/{self.depth})"

@@ -1,0 +1,35 @@
+"""Pipeline-stage base class for the cycle simulator."""
+
+from __future__ import annotations
+
+
+class Module:
+    """One hardware stage: override :meth:`tick` with per-cycle behaviour.
+
+    ``tick`` is called exactly once per cycle, before FIFO commits; a stage
+    therefore sees its inputs as of the previous cycle and its outputs land
+    in the next — the registered-pipeline timing discipline.
+
+    A :class:`~repro.fpga.sim.trace.PipelineTracer` may be attached via the
+    ``tracer`` attribute; :meth:`emit` is then a cheap no-op otherwise.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy_cycles = 0
+        self.tracer = None
+
+    def emit(self, cycle: int, event: str, **info) -> None:
+        """Record a trace event if a tracer is attached."""
+        if self.tracer is not None:
+            self.tracer.record(cycle, self.name, event, **info)
+
+    def tick(self, cycle: int) -> None:
+        raise NotImplementedError
+
+    def is_idle(self) -> bool:
+        """True when the stage holds no in-flight state (for quiescence)."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r})"

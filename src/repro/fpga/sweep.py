@@ -1,0 +1,188 @@
+"""Design-space exploration over accelerator configurations.
+
+The paper picks one configuration (k = 16, b1+b32, 2^12-entry cache, one
+instance per channel) from its component experiments.  This module
+automates that choice for arbitrary workloads: enumerate a configuration
+grid, evaluate each point with the performance model *and* the resource
+model, and report the Pareto frontier of throughput versus device
+utilization — the architect's view the paper's Section 6.2/6.3 sweeps
+build up to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+
+from repro.errors import ConfigError
+from repro.fpga.burst import SHORT_ONLY, BurstStrategy
+from repro.fpga.config import LightRWConfig
+from repro.fpga.perfmodel import FPGAPerfModel
+from repro.fpga.resources import FPGADevice, ResourceModel, U250
+from repro.walks.base import WalkAlgorithm
+from repro.walks.stepper import WalkSession
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    config: LightRWConfig
+    steps_per_second: float
+    bottleneck: str
+    #: Worst resource utilization across LUT/REG/BRAM/DSP (0..1).
+    peak_utilization: float
+    fits: bool
+
+    @property
+    def label(self) -> str:
+        return (
+            f"k={self.config.k} {self.config.strategy.label} "
+            f"cache=2^{self.config.cache_entries.bit_length() - 1} "
+            f"x{self.config.n_instances}"
+        )
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "config": self.label,
+            "steps_per_s": f"{self.steps_per_second:.3g}",
+            "bottleneck": self.bottleneck,
+            "peak_utilization": f"{self.peak_utilization:.1%}",
+            "fits": self.fits,
+        }
+
+
+def default_grid() -> dict[str, list]:
+    """The grid the paper's component experiments span."""
+    return {
+        "k": [4, 8, 16, 32],
+        "long_beats": [0, 8, 16, 32],
+        "cache_bits": [10, 12, 14],
+        "n_instances": [2, 4],
+    }
+
+
+class DesignSpaceExplorer:
+    """Evaluate a configuration grid over one recorded workload."""
+
+    def __init__(
+        self,
+        algorithm: WalkAlgorithm,
+        application: str,
+        device: FPGADevice = U250,
+        base_config: LightRWConfig | None = None,
+    ) -> None:
+        self.algorithm = algorithm
+        self.application = application
+        self.device = device
+        self.base_config = base_config or LightRWConfig()
+        self.resources = ResourceModel(device)
+
+    def _configs(self, grid: dict[str, list]) -> list[LightRWConfig]:
+        configs = []
+        for k, long_beats, cache_bits, n_instances in product(
+            grid["k"], grid["long_beats"], grid["cache_bits"], grid["n_instances"]
+        ):
+            strategy = (
+                SHORT_ONLY
+                if long_beats == 0
+                else BurstStrategy(short_beats=1, long_beats=long_beats)
+            )
+            configs.append(
+                replace(
+                    self.base_config,
+                    k=k,
+                    strategy=strategy,
+                    cache_entries=1 << cache_bits,
+                    n_instances=n_instances,
+                )
+            )
+        return configs
+
+    def evaluate(
+        self,
+        sessions: dict[int, WalkSession],
+        grid: dict[str, list] | None = None,
+    ) -> list[DesignPoint]:
+        """Evaluate every grid point.
+
+        ``sessions`` maps sampler parallelism ``k`` to a walk session
+        sampled with that ``k`` (walks depend on k, so the caller provides
+        one functional session per k value — see
+        :func:`sweep_design_space` for the convenience wrapper).
+        """
+        grid = grid or default_grid()
+        missing = [k for k in grid["k"] if k not in sessions]
+        if missing:
+            raise ConfigError(f"no walk session provided for k in {missing}")
+        points = []
+        for config in self._configs(grid):
+            breakdown = FPGAPerfModel(config, self.algorithm).evaluate(
+                sessions[config.k], record_latency=False
+            )
+            estimate = self.resources.estimate(config, self.application)
+            utilization = estimate.utilization()
+            peak = max(utilization.values())
+            points.append(
+                DesignPoint(
+                    config=config,
+                    steps_per_second=breakdown.steps_per_second,
+                    bottleneck=breakdown.bottleneck,
+                    peak_utilization=peak,
+                    fits=peak <= 1.0,
+                )
+            )
+        return points
+
+    @staticmethod
+    def pareto_frontier(points: list[DesignPoint]) -> list[DesignPoint]:
+        """Fitting points not dominated in (throughput, utilization).
+
+        A point dominates another if it is at least as fast *and* uses no
+        more of the device, strictly better in one of the two.
+        """
+        fitting = [p for p in points if p.fits]
+        frontier = []
+        for candidate in fitting:
+            dominated = any(
+                other.steps_per_second >= candidate.steps_per_second
+                and other.peak_utilization <= candidate.peak_utilization
+                and (
+                    other.steps_per_second > candidate.steps_per_second
+                    or other.peak_utilization < candidate.peak_utilization
+                )
+                for other in fitting
+            )
+            if not dominated:
+                frontier.append(candidate)
+        return sorted(frontier, key=lambda p: p.peak_utilization)
+
+
+def sweep_design_space(
+    graph,
+    algorithm: WalkAlgorithm,
+    application: str,
+    n_steps: int,
+    starts,
+    grid: dict[str, list] | None = None,
+    hardware_scale: int = 1,
+    seed: int = 0,
+) -> tuple[list[DesignPoint], list[DesignPoint]]:
+    """Convenience wrapper: walk once per k, evaluate the grid.
+
+    Returns ``(all_points, pareto_frontier)``.
+    """
+    from repro.walks.stepper import PWRSSampler, run_walks
+
+    grid = grid or default_grid()
+    sessions = {
+        k: run_walks(graph, starts, n_steps, algorithm, PWRSSampler(k=k, seed=seed))
+        for k in grid["k"]
+    }
+    explorer = DesignSpaceExplorer(
+        algorithm,
+        application,
+        base_config=LightRWConfig().scaled(hardware_scale),
+    )
+    points = explorer.evaluate(sessions, grid)
+    return points, explorer.pareto_frontier(points)

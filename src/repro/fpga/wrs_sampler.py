@@ -1,0 +1,95 @@
+"""Throughput model of the hardware WRS Sampler (paper Section 4.2).
+
+The WRS Sampler consumes ``k`` (item, weight) pairs per cycle through four
+pipelined stages — prefix-sum weight accumulator, per-lane selector (the
+Equation 8 DSP compare), tree comparator, output — with a fill latency of
+``O(log k)`` plus the fixed stage depth.  Its *functional* behaviour is
+:class:`repro.sampling.ParallelWRS`; this module models its *timing*,
+which is what Figures 10a/10b measure:
+
+* throughput scales linearly with ``k`` until the DRAM feed rate binds
+  (16 items x 4 B x 300 MHz = 19.2 GB/s raw, capped by the channel's
+  17.57 GB/s sustainable bandwidth), and
+* short streams lose a little throughput to pipeline fill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.fpga.dram import DRAMTimings
+from repro.graph.csr import EDGE_RECORD_BYTES
+from repro.units import GIGA
+
+
+@dataclass(frozen=True)
+class WRSSamplerModel:
+    """Cycle cost model of one WRS Sampler instance."""
+
+    k: int = 16
+    frequency_hz: float = 300e6
+    #: Fixed pipeline stages before the first selection can retire
+    #: (accumulator, selector, comparator tree, output).
+    base_fill_cycles: int = 6
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.k & (self.k - 1):
+            raise ConfigError(f"k must be a positive power of two, got {self.k}")
+
+    @property
+    def fill_cycles(self) -> int:
+        """Pipeline fill: fixed stages plus the log-depth reduction trees."""
+        return self.base_fill_cycles + int(np.log2(self.k))
+
+    def stream_cycles(self, n_items) -> np.ndarray:
+        """Cycles to fully process (and drain) streams of ``n_items`` items.
+
+        Vectorized over arrays.  Matches the paper's O(n/k + log k)
+        complexity statement.
+        """
+        n = np.asarray(n_items, dtype=np.int64)
+        return np.where(n > 0, -(-n // self.k) + self.fill_cycles, 0)
+
+    #: Pipeline bubble between back-to-back streams (reservoir reset +
+    #: result hand-off); the fill itself overlaps the next stream.
+    STREAM_BUBBLE_CYCLES = 2
+
+    def occupancy_cycles(self, n_items) -> np.ndarray:
+        """Cycles the sampler is *busy* per stream (fill overlaps streams).
+
+        Back-to-back streams keep the pipeline full, so sustained occupancy
+        is the consume cycles plus a small reset bubble — this is what
+        bounds accelerator throughput.
+        """
+        n = np.asarray(n_items, dtype=np.int64)
+        return np.where(n > 0, -(-n // self.k) + self.STREAM_BUBBLE_CYCLES, 0)
+
+    def sustained_items_per_second(self, dram: DRAMTimings | None = None) -> float:
+        """Peak sustained sampling rate (Figure 10a's plateau).
+
+        The raw fabric rate is ``k`` items per cycle; the memory system can
+        feed at most ``peak_bandwidth / EDGE_RECORD_BYTES`` items per
+        second, whichever is lower.
+        """
+        fabric = self.k * self.frequency_hz
+        if dram is None:
+            return fabric
+        feed = dram.peak_bandwidth_gbps * GIGA / EDGE_RECORD_BYTES
+        return min(fabric, feed)
+
+    def measured_throughput(self, stream_items: int, dram: DRAMTimings | None = None) -> float:
+        """Sustained items/s for back-to-back streams of the given length.
+
+        This is Figure 10b's measurement: streams of one size fed
+        continuously, so the fill overlaps and only the per-stream bubble
+        remains visible for short streams.
+        """
+        if stream_items <= 0:
+            return 0.0
+        cycles = float(self.occupancy_cycles(stream_items))
+        rate = stream_items / cycles * self.frequency_hz
+        cap = self.sustained_items_per_second(dram)
+        return min(rate, cap)

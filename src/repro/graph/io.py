@@ -1,0 +1,131 @@
+"""Graph persistence: text edge lists and binary CSR bundles.
+
+Two formats:
+
+* **Text edge lists** — one ``src dst [weight [label]]`` line per edge; the
+  interchange format of SNAP and most graph tools.  Comment lines starting
+  with ``#`` are skipped.
+* **NPZ CSR bundles** — the library's native format: the validated CSR
+  arrays written with :func:`numpy.savez_compressed`, round-tripping every
+  attribute bit-exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.builders import from_edge_list
+from repro.graph.csr import CSRGraph
+
+_FORMAT_VERSION = 1
+
+
+def save_csr_npz(graph: CSRGraph, path: str | Path) -> None:
+    """Write a CSR bundle; extension ``.npz`` is appended if missing."""
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "row_index": graph.row_index,
+        "col_index": graph.col_index,
+        "directed": np.bool_(graph.directed),
+        "name": np.str_(graph.name),
+    }
+    for attr in ("edge_weights", "vertex_labels", "edge_labels"):
+        value = getattr(graph, attr)
+        if value is not None:
+            payload[attr] = value
+    np.savez_compressed(str(path), **payload)
+
+
+def load_csr_npz(path: str | Path) -> CSRGraph:
+    """Read a CSR bundle written by :func:`save_csr_npz` (validates on load)."""
+    with np.load(str(path), allow_pickle=False) as bundle:
+        version = int(bundle["format_version"])
+        if version != _FORMAT_VERSION:
+            raise GraphFormatError(
+                f"unsupported CSR bundle version {version} (expected {_FORMAT_VERSION})"
+            )
+        return CSRGraph(
+            row_index=bundle["row_index"],
+            col_index=bundle["col_index"],
+            edge_weights=bundle["edge_weights"] if "edge_weights" in bundle else None,
+            vertex_labels=bundle["vertex_labels"] if "vertex_labels" in bundle else None,
+            edge_labels=bundle["edge_labels"] if "edge_labels" in bundle else None,
+            directed=bool(bundle["directed"]),
+            name=str(bundle["name"]),
+        )
+
+
+def save_edge_list_text(graph: CSRGraph, path: str | Path) -> None:
+    """Write ``src dst weight`` lines (weight column only when present)."""
+    sources = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# {graph.name}: {graph.num_vertices} vertices, {graph.num_edges} edges\n")
+        if graph.edge_weights is not None:
+            for src, dst, weight in zip(
+                sources.tolist(), graph.col_index.tolist(), graph.edge_weights.tolist()
+            ):
+                handle.write(f"{src} {dst} {weight:.6g}\n")
+        else:
+            for src, dst in zip(sources.tolist(), graph.col_index.tolist()):
+                handle.write(f"{src} {dst}\n")
+
+
+def load_edge_list_text(
+    path: str | Path,
+    directed: bool = True,
+    num_vertices: int | None = None,
+    name: str | None = None,
+) -> CSRGraph:
+    """Parse a ``src dst [weight]`` text file into a CSR graph.
+
+    Raises :class:`GraphFormatError` on malformed lines, with the offending
+    line number in the message.
+    """
+    sources: list[int] = []
+    targets: list[int] = []
+    weights: list[float] = []
+    saw_weights = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            fields = stripped.split()
+            if len(fields) < 2:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: expected 'src dst [weight]', got {stripped!r}"
+                )
+            try:
+                sources.append(int(fields[0]))
+                targets.append(int(fields[1]))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: non-integer vertex id in {stripped!r}"
+                ) from exc
+            if len(fields) >= 3:
+                saw_weights = True
+                try:
+                    weights.append(float(fields[2]))
+                except ValueError as exc:
+                    raise GraphFormatError(
+                        f"{path}:{line_number}: non-numeric weight in {stripped!r}"
+                    ) from exc
+            elif saw_weights:
+                raise GraphFormatError(
+                    f"{path}:{line_number}: missing weight column (earlier lines had one)"
+                )
+    edges = np.stack(
+        [np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)], axis=1
+    ) if sources else np.zeros((0, 2), dtype=np.int64)
+    weight_array = np.asarray(weights, dtype=np.float32) if saw_weights else None
+    inferred_name = name or Path(path).stem
+    return from_edge_list(
+        edges,
+        num_vertices=num_vertices,
+        weights=weight_array,
+        directed=directed,
+        name=inferred_name,
+    )

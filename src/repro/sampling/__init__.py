@@ -1,0 +1,39 @@
+"""Sampling substrate: RNG streams and weighted sampling methods.
+
+This package collects every sampling primitive the paper touches:
+
+* :mod:`repro.sampling.rng` — the ThundeRiNG substitute: many independent,
+  deterministic 32-bit uniform lanes, one value per lane per cycle.
+* :mod:`repro.sampling.reservoir` — sequential weighted reservoir sampling
+  (WRS), the single-pass method LightRW is built around.
+* :mod:`repro.sampling.parallel_wrs` — the paper's Algorithm 4.1: the
+  parallelized WRS that consumes ``k`` items per cycle, including the
+  integer-only comparison of Equation (8).
+* :mod:`repro.sampling.inverse_transform` — the two-phase
+  initialization/generation sampler ThunderRW is configured with.
+* :mod:`repro.sampling.alias` — Walker's alias method, the other classic
+  table-based sampler referenced as a baseline.
+"""
+
+from repro.sampling.alias import AliasTable
+from repro.sampling.inverse_transform import InverseTransformTable
+from repro.sampling.parallel_wrs import ParallelWRS, integer_accept, parallel_wrs_sample
+from repro.sampling.reservoir import reservoir_sample, reservoir_sample_stream
+from repro.sampling.rng import ThundeRingRNG, XorShift128Plus, derive_seed, splitmix64
+from repro.sampling.stattests import BatteryResult, run_battery
+
+__all__ = [
+    "AliasTable",
+    "BatteryResult",
+    "InverseTransformTable",
+    "ParallelWRS",
+    "ThundeRingRNG",
+    "XorShift128Plus",
+    "derive_seed",
+    "integer_accept",
+    "run_battery",
+    "parallel_wrs_sample",
+    "reservoir_sample",
+    "reservoir_sample_stream",
+    "splitmix64",
+]

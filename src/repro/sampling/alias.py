@@ -1,0 +1,87 @@
+"""Walker's alias method (Vose's O(n) construction).
+
+The other classic table-based weighted sampler the paper cites as a baseline
+(reference [29]).  Like inverse-transform sampling it needs an O(n)
+initialization pass producing an O(n) table, which is precisely the
+synchronization barrier and intermediate-data traffic that LightRW's
+reservoir sampling eliminates; it is included here so the CPU baseline can
+be configured with either method and so the ablation benchmarks can compare
+initialization costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class AliasTable:
+    """Alias table over a non-negative weight vector.
+
+    Sampling draws one uniform, splits it into a slot index and a coin, and
+    returns either the slot or its alias — O(1) per draw after the O(n)
+    build.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError(f"weights must be 1-D, got shape {weights.shape}")
+        if weights.size and weights.min() < 0:
+            raise ValueError("weights must be non-negative")
+        n = weights.size
+        self.n = n
+        self.total = float(weights.sum())
+        self.prob = np.zeros(n, dtype=np.float64)
+        self.alias = np.zeros(n, dtype=np.int64)
+        # Memory accounting mirrors InverseTransformTable: each item is read
+        # once and each table slot written once (prob + alias counted as one
+        # logical entry).
+        self.init_reads = n
+        self.init_writes = n
+        if n == 0 or self.total <= 0.0:
+            return
+        scaled = weights * (n / self.total)
+        small = [i for i in range(n) if scaled[i] < 1.0]
+        large = [i for i in range(n) if scaled[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self.prob[s] = scaled[s]
+            self.alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for i in large:
+            self.prob[i] = 1.0
+        for i in small:
+            # Only reachable through floating-point round-off.
+            self.prob[i] = 1.0
+
+    def __len__(self) -> int:
+        return self.n
+
+    def sample(self, uniform: float) -> int:
+        """Draw one index from a single uniform in ``[0, 1)``."""
+        if not 0.0 <= uniform < 1.0:
+            raise ValueError(f"uniform must be in [0, 1), got {uniform}")
+        if self.n == 0 or self.total <= 0.0:
+            return -1
+        scaled = uniform * self.n
+        slot = min(int(scaled), self.n - 1)
+        coin = scaled - slot
+        if coin < self.prob[slot]:
+            return slot
+        return int(self.alias[slot])
+
+    def sample_many(self, uniforms: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sample` over an array of uniforms."""
+        uniforms = np.asarray(uniforms, dtype=np.float64)
+        if self.n == 0 or self.total <= 0.0:
+            return np.full(uniforms.shape, -1, dtype=np.int64)
+        scaled = uniforms * self.n
+        slots = np.minimum(scaled.astype(np.int64), self.n - 1)
+        coins = scaled - slots
+        take_alias = coins >= self.prob[slots]
+        return np.where(take_alias, self.alias[slots], slots).astype(np.int64)

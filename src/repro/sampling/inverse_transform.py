@@ -1,0 +1,69 @@
+"""Inverse transform sampling — ThunderRW's configured method.
+
+The two-phase structure is exactly what Section 2.2 of the paper describes
+and what LightRW removes:
+
+* **initialization** builds an intermediate table describing the discrete
+  distribution — here the inclusive prefix-sum (CDF) of the weights, with
+  O(n) time and O(n) space; on a CPU this table lives in memory and is the
+  source of the ``2 |N(v)|`` intermediate accesses per step;
+* **generation** draws one uniform and binary-searches the table.
+
+The class keeps an explicit count of the memory touches each phase performs
+so the CPU cost model (:mod:`repro.cpu.memory_model`) can charge them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class InverseTransformTable:
+    """CDF table over a non-negative weight vector.
+
+    Parameters
+    ----------
+    weights:
+        1-D array of non-negative weights.  An all-zero vector is allowed
+        and makes :meth:`sample` return ``-1`` (nothing samplable).
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError(f"weights must be 1-D, got shape {weights.shape}")
+        if weights.size and weights.min() < 0:
+            raise ValueError("weights must be non-negative")
+        self.cdf = np.cumsum(weights)
+        self.total = float(self.cdf[-1]) if weights.size else 0.0
+        # Memory accounting (elements touched): read every weight, write
+        # every table entry.
+        self.init_reads = weights.size
+        self.init_writes = weights.size
+
+    def __len__(self) -> int:
+        return int(self.cdf.size)
+
+    def sample(self, uniform: float) -> int:
+        """Draw one index given a uniform in ``[0, 1)``.
+
+        Items with zero weight are never returned; if the total weight is
+        zero, returns ``-1``.
+        """
+        if not 0.0 <= uniform < 1.0:
+            raise ValueError(f"uniform must be in [0, 1), got {uniform}")
+        if self.total <= 0.0:
+            return -1
+        target = uniform * self.total
+        index = int(np.searchsorted(self.cdf, target, side="right"))
+        # Guard against landing exactly on the total due to rounding.
+        return min(index, len(self) - 1)
+
+    def sample_many(self, uniforms: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`sample` over an array of uniforms."""
+        uniforms = np.asarray(uniforms, dtype=np.float64)
+        if self.total <= 0.0:
+            return np.full(uniforms.shape, -1, dtype=np.int64)
+        targets = uniforms * self.total
+        indices = np.searchsorted(self.cdf, targets, side="right")
+        return np.minimum(indices, len(self) - 1).astype(np.int64)

@@ -1,0 +1,189 @@
+"""Parallel weighted reservoir sampling — the paper's Algorithm 4.1.
+
+The sequential WRS acceptance test for item ``i`` needs the running weight
+sum of all earlier items, which serializes the loop.  Algorithm 4.1 breaks
+the dependency by processing ``k`` items per cycle:
+
+1. compute the *intra-batch* inclusive prefix sum ``W_ps`` of the k weights,
+2. add the carried total ``w_sum`` of all previous batches (Equation 5),
+3. test each lane independently against its own random lane,
+4. the highest-index accepted lane wins the batch (it would have overwritten
+   the others sequentially),
+5. carry ``w_sum += sum(batch)`` to the next cycle.
+
+Because the lanes use independent uniforms, the combined process is
+*distribution-identical* to sequential WRS for every ``k`` — an invariant the
+test suite checks both exactly (same uniforms, same result) and
+statistically.
+
+Acceptance is evaluated with the paper's integer-only comparison
+(Equation 8), which the hardware computes with one shift, one DSP multiply
+and one add per lane:
+
+    p > r   <=>   2^32 * w > r* * (w_sum + W_ps) + w
+
+with ``r*`` the raw 32-bit random integer.  :func:`integer_accept` implements
+it exactly in 64-bit arithmetic (with an arbitrary-precision fallback when
+the running weight sum exceeds 32 bits), so the cycle simulator and the fast
+analytic model produce bit-identical decisions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.sampling.rng import ThundeRingRNG
+
+_SHIFT32 = np.uint64(32)
+_U32_LIMIT = 1 << 32
+
+
+def integer_accept(
+    weights: np.ndarray, inclusive_prefix: np.ndarray, r_star: np.ndarray
+) -> np.ndarray:
+    """Equation (8): exact integer acceptance test, vectorized.
+
+    Parameters
+    ----------
+    weights:
+        Per-lane fixed-point weights ``w`` (non-negative integers < 2^32).
+    inclusive_prefix:
+        Per-lane ``w_sum + W_ps[j]`` — the inclusive running weight total up
+        to and including this lane.
+    r_star:
+        Per-lane raw 32-bit uniform integers.
+
+    Returns
+    -------
+    ndarray of bool
+        ``True`` where the lane's item is accepted as a candidate.
+
+    Notes
+    -----
+    With ``inclusive_prefix < 2^32`` everything fits in uint64
+    (``r* * prefix < 2^64``) and the comparison is done natively.  Larger
+    running sums — possible only on extreme degree/weight combinations —
+    fall back to Python integers, preserving exactness at some speed cost.
+    """
+    weights = np.asarray(weights)
+    inclusive_prefix = np.asarray(inclusive_prefix)
+    r_star = np.asarray(r_star)
+    if weights.dtype.kind == "i" and weights.size and int(weights.min()) < 0:
+        raise ValueError("weights must be non-negative")
+    max_prefix = int(inclusive_prefix.max()) if inclusive_prefix.size else 0
+    if max_prefix < _U32_LIMIT:
+        w64 = np.asarray(weights, dtype=np.uint64)
+        prefix64 = np.asarray(inclusive_prefix, dtype=np.uint64)
+        r64 = np.asarray(r_star, dtype=np.uint64)
+        with np.errstate(over="ignore"):
+            lhs = w64 << _SHIFT32
+            rhs = r64 * prefix64 + w64
+        return lhs > rhs
+    # Arbitrary-precision fallback for running sums beyond 32 bits.
+    accept = np.zeros(weights.shape, dtype=bool)
+    flat = accept.reshape(-1)
+    w_flat = np.asarray(weights, dtype=object).reshape(-1)
+    p_flat = np.asarray(inclusive_prefix, dtype=object).reshape(-1)
+    r_flat = np.asarray(r_star, dtype=object).reshape(-1)
+    for i in range(flat.size):
+        w = int(w_flat[i])
+        flat[i] = (w << 32) > int(r_flat[i]) * int(p_flat[i]) + w
+    return accept
+
+
+class ParallelWRS:
+    """Stateful k-wide WRS sampler — the software twin of the WRS Sampler.
+
+    One instance samples a *single* stream.  Feed it batches of up to ``k``
+    items with :meth:`consume` (one call per hardware cycle) and read the
+    reservoir with :meth:`result` when the stream ends.
+
+    Weights are non-negative **integers** (fixed-point; see
+    :mod:`repro.walks.base` for the quantization used by the walk layer).
+    """
+
+    def __init__(self, k: int, rng: ThundeRingRNG) -> None:
+        if k <= 0:
+            raise ConfigError(f"parallelism k must be positive, got {k}")
+        if rng.n_lanes < k:
+            raise ConfigError(
+                f"rng provides {rng.n_lanes} lanes but k={k} are required"
+            )
+        self.k = int(k)
+        self.rng = rng
+        self.w_sum = 0
+        self.reservoir_item: int | None = None
+        self.items_seen = 0
+        self.cycles = 0
+
+    def reset(self) -> None:
+        """Clear the reservoir for a fresh stream (does not reseed the RNG)."""
+        self.w_sum = 0
+        self.reservoir_item = None
+        self.items_seen = 0
+
+    def consume(self, items: np.ndarray, weights: np.ndarray) -> None:
+        """Process one cycle's batch of at most ``k`` (item, weight) pairs.
+
+        A partial batch (fewer than ``k`` items, e.g. the stream tail) still
+        consumes a full cycle of random lanes, exactly as the hardware does:
+        the unused lanes' uniforms are drawn and discarded.
+        """
+        items = np.asarray(items)
+        weights = np.asarray(weights, dtype=np.uint64)
+        if items.shape != weights.shape or items.ndim != 1:
+            raise ValueError("items and weights must be equal-length 1-D arrays")
+        if items.size > self.k:
+            raise ValueError(f"batch of {items.size} exceeds k={self.k}")
+        r_star = self.rng.next_uint32()[: self.k]
+        self.cycles += 1
+        if items.size == 0:
+            return
+        prefix = np.cumsum(weights, dtype=np.uint64) + np.uint64(self.w_sum & 0xFFFFFFFFFFFFFFFF)
+        accept = integer_accept(weights, prefix, r_star[: items.size])
+        accepted = np.nonzero(accept)[0]
+        if accepted.size:
+            self.reservoir_item = int(items[accepted[-1]])
+        self.w_sum += int(weights.sum())
+        self.items_seen += items.size
+
+    def result(self) -> int | None:
+        """Sampled item for the stream consumed so far (None if nothing)."""
+        return self.reservoir_item
+
+
+def parallel_wrs_sample(
+    items: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    rng: ThundeRingRNG,
+) -> tuple[int, int]:
+    """One-shot parallel WRS over a complete stream (vectorized fast path).
+
+    Runs the whole stream in ``ceil(n / k)`` cycles worth of random draws
+    and returns ``(sampled_item, cycles_consumed)``.  Bit-identical to
+    feeding :class:`ParallelWRS` batch by batch with the same RNG state —
+    the analytic FPGA model relies on this equivalence to reproduce the
+    cycle simulator's walks exactly.
+
+    Returns ``(-1, cycles)`` when every weight is zero.
+    """
+    items = np.asarray(items)
+    weights = np.asarray(weights, dtype=np.uint64)
+    if items.shape != weights.shape or items.ndim != 1:
+        raise ValueError("items and weights must be equal-length 1-D arrays")
+    if k <= 0:
+        raise ConfigError(f"parallelism k must be positive, got {k}")
+    n = items.size
+    n_cycles = -(-n // k) if n else 0
+    r_block = rng.uint32_block(n_cycles)[:, :k]
+    if n == 0:
+        return -1, 0
+    prefix = np.cumsum(weights, dtype=np.uint64)
+    r_flat = r_block.reshape(-1)[:n]
+    accept = integer_accept(weights, prefix, r_flat)
+    accepted = np.nonzero(accept)[0]
+    if accepted.size == 0:
+        return -1, n_cycles
+    return int(items[accepted[-1]]), n_cycles

@@ -1,0 +1,96 @@
+"""Sequential weighted reservoir sampling (WRS).
+
+This is the single-pass sampling rule LightRW is built around (Section 3.2 of
+the paper): stream the items once, and accept item ``i`` into the (size-one)
+reservoir with probability
+
+    p_i = w_i / sum_{m<=i} w_m .
+
+After the stream ends the reservoir holds item ``i`` with probability
+``w_i / sum(w)`` — the induction is classic (Efraimidis & Spirakis 2006, and
+Chao 1982 for the size-one case) and is verified empirically by the test
+suite with chi-square tests.
+
+Two entry points are provided:
+
+* :func:`reservoir_sample_stream` — the literal streaming form, consuming
+  ``(weight, uniform)`` pairs one at a time; used by the cycle simulator's
+  golden model and by docs.
+* :func:`reservoir_sample` — a vectorized equivalent over a weight array,
+  used by tests and the CPU-engine variant "ThunderRW w/ PWRS".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+def reservoir_sample_stream(
+    pairs: Iterable[tuple[float, float]],
+) -> int:
+    """Run sequential WRS over a stream of ``(weight, uniform)`` pairs.
+
+    Parameters
+    ----------
+    pairs:
+        Iterable of ``(w_i, r_i)`` where ``w_i >= 0`` is the item weight and
+        ``r_i`` is a uniform random draw in ``[0, 1)`` consumed for that item.
+
+    Returns
+    -------
+    int
+        Index of the sampled item, or ``-1`` if every weight was zero (the
+        stream offered nothing to sample — a MetaPath dead end).
+    """
+    selected = -1
+    w_sum = 0.0
+    for index, (weight, r) in enumerate(pairs):
+        if weight < 0:
+            raise ValueError(f"negative weight {weight} at stream index {index}")
+        w_sum += weight
+        if w_sum > 0 and weight / w_sum > r:
+            selected = index
+    return selected
+
+
+def reservoir_sample(weights: np.ndarray, uniforms: np.ndarray) -> int:
+    """Vectorized sequential WRS over a full weight array.
+
+    Semantically identical to :func:`reservoir_sample_stream` over
+    ``zip(weights, uniforms)``: the accepted set is computed for all items at
+    once and the *last* accepted index wins, which is exactly what sequential
+    overwriting of a size-one reservoir produces.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    uniforms = np.asarray(uniforms, dtype=np.float64)
+    if weights.shape != uniforms.shape:
+        raise ValueError(
+            f"weights and uniforms must align, got {weights.shape} vs {uniforms.shape}"
+        )
+    if weights.size == 0:
+        return -1
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    prefix = np.cumsum(weights)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        probability = np.where(prefix > 0, weights / prefix, 0.0)
+    accepted = np.nonzero(probability > uniforms)[0]
+    if accepted.size == 0:
+        return -1
+    return int(accepted[-1])
+
+
+def reservoir_sample_many(
+    weights: np.ndarray, uniforms_iter: Iterator[np.ndarray], n_samples: int
+) -> np.ndarray:
+    """Draw ``n_samples`` independent WRS selections from one weight array.
+
+    Convenience used by statistical tests; each draw consumes one uniform
+    array from ``uniforms_iter``.
+    """
+    out = np.empty(n_samples, dtype=np.int64)
+    for i in range(n_samples):
+        out[i] = reservoir_sample(weights, next(uniforms_iter))
+    return out

@@ -1,0 +1,165 @@
+"""Empirical randomness test battery for the multi-lane RNG.
+
+The paper selects ThundeRiNG because it passes "the most stringent
+empirical randomness tests" (TestU01's BigCrush).  We cannot run BigCrush
+offline, so this module implements a compact battery in its spirit —
+frequency, serial-pair, gap, runs and birthday-spacings tests plus
+cross-lane independence — applied to our substitute generator by the test
+suite and exposed for users who swap in their own generator.
+
+Each test returns a p-value; under the null (perfect randomness) p-values
+are uniform, so extremely small values signal failure.  The battery
+summarizes with the number of tests below a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import stats
+
+from repro.sampling.rng import ThundeRingRNG
+
+
+def frequency_test(bits: np.ndarray) -> float:
+    """Monobit frequency: the share of ones is ~1/2."""
+    n = bits.size
+    ones = int(bits.sum())
+    statistic = abs(ones - n / 2) / np.sqrt(n / 4)
+    return float(2 * stats.norm.sf(statistic))
+
+
+def serial_pair_test(values: np.ndarray, buckets: int = 16) -> float:
+    """Consecutive-pair equidistribution over a buckets x buckets grid."""
+    coded = (values >> np.uint32(32 - buckets.bit_length() + 1)).astype(np.int64)
+    coded = coded % buckets
+    pairs = coded[:-1] * buckets + coded[1:]
+    counts = np.bincount(pairs, minlength=buckets * buckets)
+    __, p_value = stats.chisquare(counts)
+    return float(p_value)
+
+
+def gap_test(uniforms: np.ndarray, low: float = 0.0, high: float = 0.25, max_gap: int = 16) -> float:
+    """Gaps between visits to [low, high) are geometrically distributed."""
+    in_band = (uniforms >= low) & (uniforms < high)
+    positions = np.nonzero(in_band)[0]
+    if positions.size < 50:
+        return 1.0
+    gaps = np.diff(positions) - 1
+    gaps = np.minimum(gaps, max_gap)
+    counts = np.bincount(gaps, minlength=max_gap + 1).astype(np.float64)
+    p_band = high - low
+    expected = np.array(
+        [p_band * (1 - p_band) ** g for g in range(max_gap)] + [(1 - p_band) ** max_gap]
+    ) * gaps.size
+    keep = expected >= 5
+    if keep.sum() < 2:
+        return 1.0
+    # Renormalize over kept buckets to preserve totals.
+    __, p_value = stats.chisquare(
+        counts[keep] * expected[keep].sum() / max(counts[keep].sum(), 1e-12),
+        expected[keep],
+    )
+    return float(p_value)
+
+
+def runs_test(uniforms: np.ndarray) -> float:
+    """Wald-Wolfowitz runs test around the median."""
+    binary = uniforms > np.median(uniforms)
+    n1 = int(binary.sum())
+    n2 = binary.size - n1
+    if n1 == 0 or n2 == 0:
+        return 0.0
+    runs = 1 + int((binary[1:] != binary[:-1]).sum())
+    mean = 2 * n1 * n2 / (n1 + n2) + 1
+    variance = (mean - 1) * (mean - 2) / (n1 + n2 - 1)
+    statistic = abs(runs - mean) / np.sqrt(max(variance, 1e-12))
+    return float(2 * stats.norm.sf(statistic))
+
+
+def birthday_spacings_test(values: np.ndarray, bits: int = 24, m_per_trial: int = 512) -> float:
+    """Marsaglia's birthday spacings: duplicate spacings are ~Poisson.
+
+    Each trial throws ``m`` "birthdays" into a year of ``2^bits`` days;
+    the number of duplicated spacings is approximately Poisson with
+    ``lambda = m^3 / (4 * 2^bits)`` (=2 for the defaults).  Trials are
+    independent, so the total over all trials is Poisson with the summed
+    rate; the p-value is the two-sided Poisson tail.
+    """
+    n_trials = values.size // m_per_trial
+    if n_trials == 0:
+        return 1.0
+    lam = m_per_trial**3 / (4.0 * (1 << bits))
+    total_duplicates = 0
+    for trial in range(n_trials):
+        chunk = values[trial * m_per_trial : (trial + 1) * m_per_trial]
+        days = np.sort((chunk >> np.uint32(32 - bits)).astype(np.int64))
+        spacings = np.sort(np.diff(days))
+        total_duplicates += int((np.diff(spacings) == 0).sum())
+    rate = lam * n_trials
+    lower = stats.poisson.cdf(total_duplicates, rate)
+    upper = stats.poisson.sf(total_duplicates - 1, rate)
+    return float(2 * min(lower, upper, 0.5))
+
+
+def cross_lane_correlation_test(block: np.ndarray) -> float:
+    """Fisher-transformed max |corr| between lanes; returns min p-value."""
+    uniforms = block.astype(np.float64) / float(1 << 32)
+    n_lanes = uniforms.shape[1]
+    n = uniforms.shape[0]
+    corr = np.corrcoef(uniforms.T)
+    p_min = 1.0
+    for i in range(n_lanes):
+        for j in range(i + 1, n_lanes):
+            z = np.arctanh(np.clip(corr[i, j], -0.999999, 0.999999)) * np.sqrt(n - 3)
+            p = 2 * stats.norm.sf(abs(z))
+            p_min = min(p_min, float(p))
+    # Bonferroni over the pairs tested.
+    pairs = n_lanes * (n_lanes - 1) // 2
+    return min(p_min * pairs, 1.0)
+
+
+@dataclass
+class BatteryResult:
+    """Outcome of the full battery."""
+
+    p_values: dict[str, float]
+    threshold: float
+
+    @property
+    def failures(self) -> list[str]:
+        return [name for name, p in self.p_values.items() if p < self.threshold]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [f"{name}: p = {p:.4f}" for name, p in sorted(self.p_values.items())]
+        verdict = "PASS" if self.passed else f"FAIL ({', '.join(self.failures)})"
+        return "\n".join(lines + [f"battery: {verdict} at threshold {self.threshold}"])
+
+
+def run_battery(
+    rng: ThundeRingRNG,
+    n_samples: int = 50_000,
+    threshold: float = 1e-4,
+    lane: int = 0,
+) -> BatteryResult:
+    """Run every test on one lane (plus the cross-lane test on all lanes)."""
+    block = rng.uint32_block(n_samples)
+    values = block[:, lane]
+    uniforms = values.astype(np.float64) / float(1 << 32)
+    bits = np.unpackbits(np.ascontiguousarray(values).view(np.uint8))
+    p_values: dict[str, Callable] = {
+        "frequency": frequency_test(bits),
+        "serial_pair": serial_pair_test(values),
+        "gap": gap_test(uniforms),
+        "runs": runs_test(uniforms),
+        "birthday_spacings": birthday_spacings_test(values),
+    }
+    if rng.n_lanes > 1:
+        p_values["cross_lane_correlation"] = cross_lane_correlation_test(block)
+    return BatteryResult(p_values=p_values, threshold=threshold)

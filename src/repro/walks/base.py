@@ -1,0 +1,148 @@
+"""Core abstractions of the walk layer.
+
+The central object is :class:`WalkAlgorithm`, whose
+:meth:`~WalkAlgorithm.dynamic_weights` is the paper's application-specific
+weight update function ``F`` — it maps every candidate edge of the current
+step to its *sampling weight* ``w^t`` (the unnormalized transition
+probability).  Implementations receive a :class:`StepContext` holding the
+flattened candidate-edge arrays for every active query at once, so a single
+vectorized call covers the whole batch.
+
+Fixed-point weights
+-------------------
+The hardware WRS sampler (Equation 8) compares integers; the walk layer
+quantizes float weights to ``round(w * WEIGHT_SCALE)`` with any positive
+weight clamped to at least one so quantization never silently forbids an
+edge the algorithm allowed.  ``WEIGHT_SCALE = 256`` (8 fractional bits)
+represents the paper's weight range — random static weights in ``[1, 4)``
+scaled by Node2Vec's ``1/p``/``1/q`` factors — with relative error below
+0.4 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.graph.csr import CSRGraph
+
+#: Fixed-point scale for the integer weights consumed by the WRS hardware.
+WEIGHT_FRAC_BITS = 8
+WEIGHT_SCALE = 1 << WEIGHT_FRAC_BITS
+
+
+def quantize_weights(weights: np.ndarray) -> np.ndarray:
+    """Quantize non-negative float weights to the hardware fixed point.
+
+    Zero stays zero (a forbidden edge must stay forbidden); any positive
+    weight becomes at least one (an allowed edge must stay allowed).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size and weights.min() < 0:
+        raise ValueError("sampling weights must be non-negative")
+    quantized = np.rint(weights * WEIGHT_SCALE).astype(np.uint64)
+    positive = weights > 0
+    quantized[positive & (quantized == 0)] = 1
+    return quantized
+
+
+@dataclass
+class StepContext:
+    """Flattened candidate-edge view of one step across all active queries.
+
+    All per-edge arrays share one flat index space: query ``j`` (a position
+    within this step's active set, not a global query id) owns the slice
+    ``[seg_starts[j], seg_starts[j] + degrees[j])``.
+    """
+
+    graph: "CSRGraph"
+    step: int
+    #: per-query arrays (length = number of active queries this step)
+    curr: np.ndarray
+    prev: np.ndarray  # -1 where the query has no previous vertex yet
+    degrees: np.ndarray
+    seg_starts: np.ndarray
+    #: per-edge arrays (length = degrees.sum())
+    edge_query: np.ndarray  # active-set position owning each edge
+    dst: np.ndarray
+    static_weights: np.ndarray
+    edge_positions: np.ndarray  # index into graph.col_index for each edge
+    #: sorted u*|V|+v keys of the whole graph, for O(log E) membership tests
+    edge_keys_sorted: np.ndarray | None = None
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.dst.size)
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.curr.size)
+
+    def prev_per_edge(self) -> np.ndarray:
+        """Previous vertex of the owning query, broadcast per edge."""
+        return self.prev[self.edge_query]
+
+    def edges_exist(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Vectorized ``(u, v) in E`` over aligned source/target arrays.
+
+        Exploits the global sortedness of the CSR edge keys (col_index is
+        sorted within rows laid out in row order), giving one
+        ``searchsorted`` for the entire batch.
+        """
+        if self.edge_keys_sorted is None:
+            raise ValueError("StepContext was built without edge keys")
+        n = np.int64(self.graph.num_vertices)
+        keys = np.asarray(sources, dtype=np.int64) * n + np.asarray(targets, dtype=np.int64)
+        pos = np.searchsorted(self.edge_keys_sorted, keys)
+        pos_clipped = np.minimum(pos, self.edge_keys_sorted.size - 1)
+        found = self.edge_keys_sorted[pos_clipped] == keys
+        found &= pos < self.edge_keys_sorted.size
+        return found
+
+
+class WalkAlgorithm:
+    """Base class for GDRW weight-update functions.
+
+    Subclasses override :meth:`dynamic_weights` and the class attributes
+    describing the memory behaviour the hardware models must account for.
+    """
+
+    #: Human-readable algorithm name used in reports.
+    name: str = "walk"
+
+    #: Whether the update function depends on the previously visited vertex
+    #: (second-order walks such as Node2Vec).
+    needs_previous: bool = False
+
+    #: row_index (neighbor-info) lookups issued per step: 1 for first-order
+    #: walks; 2 for Node2Vec, which also resolves N(a_{t-1}).
+    row_lookups_per_step: int = 1
+
+    #: Whether the step must also stream the previous vertex's adjacency
+    #: from DRAM (Node2Vec's membership test), doubling col_index traffic.
+    fetches_previous_neighbors: bool = False
+
+    #: Whether the graph must carry static edge weights.
+    requires_edge_weights: bool = False
+
+    def dynamic_weights(self, ctx: StepContext) -> np.ndarray:
+        """Return per-edge sampling weights (float64, non-negative)."""
+        raise NotImplementedError
+
+    def needs_edge_keys(self) -> bool:
+        """Whether StepContext must be built with the sorted edge-key array."""
+        return self.needs_previous
+
+    def validate_graph(self, graph: "CSRGraph") -> None:
+        """Raise if the graph lacks attributes this algorithm requires."""
+        if self.requires_edge_weights and graph.edge_weights is None:
+            raise ValueError(
+                f"{self.name} requires static edge weights; call "
+                "repro.graph.assign_random_weights or provide weights"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

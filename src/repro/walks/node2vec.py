@@ -1,0 +1,66 @@
+"""Node2Vec random walk — Equation (2) of the paper.
+
+Node2Vec (Grover & Leskovec, KDD'16) is a second-order walk: the weight of
+moving from the current vertex ``a`` to neighbor ``b`` depends on the
+previously visited vertex ``a_{t-1}``:
+
+    w^t(a, b) = w*(a, b) / p   if b == a_{t-1}           (return)
+              = w*(a, b)       if (a_{t-1}, b) in E      (stay close)
+              = w*(a, b) / q   otherwise                 (explore)
+
+``p`` is the return parameter and ``q`` the in-out parameter; the paper's
+evaluation uses ``p = 2, q = 0.5``.  The membership test
+``(a_{t-1}, b) in E`` is what makes Node2Vec memory-hungry: the engine must
+consult the previous vertex's adjacency for every candidate neighbor, which
+on the accelerator means a second ``row_index`` lookup and a second
+``col_index`` stream per step — those costs are declared through the class
+attributes the hardware models read.
+
+The first step of a query has no previous vertex and degenerates to a
+static walk step (``w^t = w*``), matching the reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.walks.base import StepContext, WalkAlgorithm
+
+
+class Node2VecWalk(WalkAlgorithm):
+    """Second-order biased walk with return/in-out parameters ``p``/``q``."""
+
+    name = "node2vec"
+    needs_previous = True
+    row_lookups_per_step = 2
+    fetches_previous_neighbors = True
+    requires_edge_weights = False  # defaults to w* = 1 on unweighted graphs
+
+    def __init__(self, p: float = 2.0, q: float = 0.5) -> None:
+        if p <= 0 or q <= 0:
+            raise QueryError(f"p and q must be positive, got p={p}, q={q}")
+        self.p = float(p)
+        self.q = float(q)
+
+    def dynamic_weights(self, ctx: StepContext) -> np.ndarray:
+        weights = ctx.static_weights.astype(np.float64)
+        prev = ctx.prev_per_edge()
+        has_prev = prev >= 0
+        if not np.any(has_prev):
+            return weights
+        is_return = (np.asarray(ctx.dst, dtype=np.int64) == prev) & has_prev
+        connected = np.zeros(ctx.n_edges, dtype=bool)
+        candidates = has_prev & ~is_return
+        if np.any(candidates):
+            connected[candidates] = ctx.edges_exist(
+                prev[candidates], ctx.dst[candidates]
+            )
+        scale = np.ones(ctx.n_edges, dtype=np.float64)
+        scale[is_return] = 1.0 / self.p
+        explore = has_prev & ~is_return & ~connected
+        scale[explore] = 1.0 / self.q
+        return weights * scale
+
+    def __repr__(self) -> str:
+        return f"Node2VecWalk(p={self.p}, q={self.q})"

@@ -1,0 +1,418 @@
+"""Vectorized multi-query walk execution.
+
+:func:`run_walks` advances a whole batch of random-walk queries in lockstep,
+one step per iteration, with every per-edge computation vectorized across
+the batch.  It is the *functional* engine shared by all backends: the FPGA
+models and the CPU baseline all replay walks produced here (with their own
+sampler strategy) and differ only in how they cost them.
+
+Sampler strategies
+------------------
+* :class:`PWRSSampler` — the parallel weighted reservoir sampler of
+  Algorithm 4.1, with per-query decorrelated ThundeRiNG lanes.  Its batch
+  math is **bit-identical** to driving one :class:`repro.sampling.ParallelWRS`
+  instance per query (the cycle simulator's path); tests assert this.
+* :class:`InverseTransformSampler` — ThunderRW's configured method: one
+  uniform per step, binary search in the per-step CDF table.
+
+Per-query randomness
+--------------------
+Each query ``q`` draws from its own lane family, keyed by
+``derive_seed(seed, q)``.  This makes a query's walk independent of
+scheduling (how queries interleave on the hardware), which is what lets a
+cycle-accurate simulation and a fast analytic model produce *the same
+walks* — the one deliberate deviation from the physical accelerator, where
+lanes are shared by arrival order (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, QueryError
+from repro.graph.csr import CSRGraph
+from repro.sampling.parallel_wrs import ParallelWRS, integer_accept
+from repro.sampling.rng import ThundeRingRNG, derive_seed, splitmix64
+from repro.walks.base import StepContext, WalkAlgorithm, quantize_weights
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _query_lane_keys(seed: int, query_ids: np.ndarray, k: int) -> np.ndarray:
+    """Lane keys for every query — matches ``ThundeRingRNG`` construction.
+
+    Row ``i`` equals the ``_lane_keys`` of
+    ``ThundeRingRNG(k, derive_seed(seed, query_ids[i]))``.
+    """
+    qids = np.asarray(query_ids, dtype=np.uint64)
+    seed64 = np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+    # derive_seed(seed, qid) == splitmix64(splitmix64(seed ^ qid))
+    qseeds = splitmix64(splitmix64(seed64 ^ qids))
+    lanes = np.arange(k, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        return splitmix64(qseeds[:, None] ^ ((lanes + np.uint64(1)) * _GOLDEN)[None, :])
+
+
+def _lane_uint32(counters: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """One 32-bit draw per (counter, key) pair — matches ``ThundeRingRNG``."""
+    with np.errstate(over="ignore"):
+        raw = splitmix64((counters.astype(np.uint64) * _GOLDEN) ^ keys)
+    return (raw >> np.uint64(32)).astype(np.uint64)
+
+
+class PWRSSampler:
+    """Parallel WRS selection across a batch of queries (Algorithm 4.1).
+
+    Parameters
+    ----------
+    k:
+        Sampler parallelism — items consumed per hardware cycle.
+    seed:
+        Master seed; per-query lanes derive from it.
+    """
+
+    name = "pwrs"
+
+    def __init__(self, k: int = 16, seed: int = 0) -> None:
+        if k <= 0:
+            raise ConfigError(f"k must be positive, got {k}")
+        self.k = int(k)
+        self.seed = int(seed)
+        self._lane_keys: np.ndarray | None = None
+        self._counters: np.ndarray | None = None
+
+    def attach(self, num_queries: int, query_ids: np.ndarray) -> None:
+        """Allocate per-query lane keys and cycle counters."""
+        self._lane_keys = _query_lane_keys(self.seed, query_ids, self.k)
+        self._counters = np.zeros(num_queries, dtype=np.uint64)
+
+    def select(
+        self,
+        ctx: StepContext,
+        weights: np.ndarray,
+        active_index: np.ndarray,
+    ) -> np.ndarray:
+        """Pick one neighbor per active query; returns within-segment index.
+
+        ``active_index`` maps each active query to its row in the attached
+        per-query state.  A return of ``-1`` means every candidate weight
+        was zero (dead end).
+        """
+        if self._lane_keys is None or self._counters is None:
+            raise ConfigError("sampler not attached; call attach() first")
+        w_int = quantize_weights(weights)
+        degrees = ctx.degrees.astype(np.int64)
+        seg_starts = ctx.seg_starts
+
+        global_cumsum = np.cumsum(w_int, dtype=np.uint64)
+        seg_base = global_cumsum[seg_starts] - w_int[seg_starts]
+        incl_prefix = global_cumsum - np.repeat(seg_base, degrees)
+
+        pos = np.arange(w_int.size, dtype=np.int64) - np.repeat(seg_starts, degrees)
+        lanes = pos % self.k
+        cycles_within = pos // self.k
+        counters = self._counters[active_index][ctx.edge_query] + cycles_within.astype(
+            np.uint64
+        )
+        keys = self._lane_keys[active_index[ctx.edge_query], lanes]
+        r_star = _lane_uint32(counters, keys)
+
+        accept = integer_accept(w_int, incl_prefix, r_star)
+        marked = np.where(accept, pos, np.int64(-1))
+        chosen = np.maximum.reduceat(marked, seg_starts)
+
+        cycles_per_query = -(-degrees // self.k)
+        np.add.at(self._counters, active_index, cycles_per_query.astype(np.uint64))
+        return chosen
+
+    def fork_single(self, query_id: int) -> ThundeRingRNG:
+        """The scalar RNG a lone :class:`ParallelWRS` would use for a query."""
+        return ThundeRingRNG(self.k, derive_seed(self.seed, int(query_id)))
+
+
+class InverseTransformSampler:
+    """ThunderRW-style sampling: build a CDF table, draw once per step."""
+
+    name = "inverse-transform"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._keys: np.ndarray | None = None
+        self._counters: np.ndarray | None = None
+
+    def attach(self, num_queries: int, query_ids: np.ndarray) -> None:
+        self._keys = _query_lane_keys(self.seed, query_ids, 1)[:, 0]
+        self._counters = np.zeros(num_queries, dtype=np.uint64)
+
+    def select(
+        self,
+        ctx: StepContext,
+        weights: np.ndarray,
+        active_index: np.ndarray,
+    ) -> np.ndarray:
+        if self._keys is None or self._counters is None:
+            raise ConfigError("sampler not attached; call attach() first")
+        weights = np.asarray(weights, dtype=np.float64)
+        degrees = ctx.degrees.astype(np.int64)
+        seg_starts = ctx.seg_starts
+
+        global_cdf = np.cumsum(weights)
+        seg_base = global_cdf[seg_starts] - weights[seg_starts]
+        seg_ends = seg_starts + degrees
+        seg_total = global_cdf[seg_ends - 1] - seg_base
+
+        draws = _lane_uint32(self._counters[active_index], self._keys[active_index])
+        uniforms = draws.astype(np.float64) / float(1 << 32)
+        self._counters[active_index] += np.uint64(1)
+
+        targets = seg_base + uniforms * seg_total
+        raw = np.searchsorted(global_cdf, targets, side="right")
+        chosen = np.minimum(raw, seg_ends - 1) - seg_starts
+        chosen = np.maximum(chosen, 0)
+        return np.where(seg_total > 0, chosen, np.int64(-1))
+
+
+@dataclass
+class StepRecord:
+    """Everything the performance models need about one executed step."""
+
+    step: int
+    query_ids: np.ndarray  # global query ids active this step
+    curr: np.ndarray  # vertex each query stood on
+    degrees: np.ndarray  # out-degree of curr
+    prev: np.ndarray  # previous vertex (-1 on the first step)
+    prev_degrees: np.ndarray  # out-degree of prev (0 where prev == -1)
+    next_vertex: np.ndarray  # sampled vertex (-1 on dead end)
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.query_ids.size)
+
+
+@dataclass
+class WalkSession:
+    """Result of a batch walk: the paths plus the recorded access trace."""
+
+    graph: CSRGraph
+    algorithm: str
+    sampler: str
+    starts: np.ndarray
+    paths: np.ndarray  # (Q, max_steps + 1), -1 padded
+    lengths: np.ndarray  # steps actually taken per query
+    records: list[StepRecord] = field(default_factory=list)
+
+    @property
+    def num_queries(self) -> int:
+        return int(self.starts.size)
+
+    @property
+    def total_steps(self) -> int:
+        return int(self.lengths.sum())
+
+    def path(self, q: int) -> np.ndarray:
+        """The walked path of query ``q`` without padding."""
+        return self.paths[q, : self.lengths[q] + 1]
+
+
+def run_walks(
+    graph: CSRGraph,
+    starts: np.ndarray,
+    n_steps: int,
+    algorithm: WalkAlgorithm,
+    sampler: PWRSSampler | InverseTransformSampler,
+    record_trace: bool = True,
+) -> WalkSession:
+    """Walk every query ``n_steps`` steps (or until a dead end).
+
+    Parameters
+    ----------
+    graph:
+        The CSR graph (validated).
+    starts:
+        Start vertex per query; queries are identified by position.
+    n_steps:
+        Target number of steps (edges) per walk — the paper's "query
+        length" is 5 for MetaPath and 80 for Node2Vec.
+    algorithm:
+        The GDRW weight-update function.
+    sampler:
+        Sampler strategy instance (its ``attach`` is called here).
+    record_trace:
+        Keep per-step :class:`StepRecord` entries (required by the
+        performance models; disable only for pure functional runs).
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    if starts.ndim != 1:
+        raise QueryError(f"starts must be 1-D, got shape {starts.shape}")
+    if starts.size and (starts.min() < 0 or starts.max() >= graph.num_vertices):
+        raise QueryError("start vertex out of range")
+    if n_steps < 0:
+        raise QueryError(f"n_steps must be non-negative, got {n_steps}")
+    algorithm.validate_graph(graph)
+
+    n_queries = starts.size
+    query_ids = np.arange(n_queries, dtype=np.int64)
+    sampler.attach(n_queries, query_ids)
+
+    paths = np.full((n_queries, n_steps + 1), -1, dtype=np.int64)
+    paths[:, 0] = starts
+    lengths = np.zeros(n_queries, dtype=np.int64)
+    curr = starts.copy()
+    prev = np.full(n_queries, -1, dtype=np.int64)
+    alive = np.ones(n_queries, dtype=bool)
+    records: list[StepRecord] = []
+
+    edge_keys = graph.edge_keys() if algorithm.needs_edge_keys() else None
+    row_index = graph.row_index
+    all_degrees = graph.degrees
+    # Hot-path dtype staging: one conversion per run instead of one per step.
+    col_index64 = graph.col_index.astype(np.int64)
+    edge_weights64 = (
+        graph.edge_weights.astype(np.float64) if graph.edge_weights is not None else None
+    )
+
+    for step in range(n_steps):
+        active = np.nonzero(alive)[0]
+        if active.size == 0:
+            break
+        a_curr = curr[active]
+        a_deg = all_degrees[a_curr]
+        walkable = a_deg > 0
+        # Queries stranded on a sink vertex terminate before sampling.
+        if not np.all(walkable):
+            alive[active[~walkable]] = False
+            active = active[walkable]
+            if active.size == 0:
+                break
+            a_curr = curr[active]
+            a_deg = all_degrees[a_curr]
+
+        seg_starts = np.zeros(active.size, dtype=np.int64)
+        np.cumsum(a_deg[:-1], out=seg_starts[1:])
+        n_edges = int(a_deg.sum())
+        edge_query = np.repeat(np.arange(active.size, dtype=np.int64), a_deg)
+        within = np.arange(n_edges, dtype=np.int64) - np.repeat(seg_starts, a_deg)
+        edge_positions = np.repeat(row_index[a_curr], a_deg) + within
+        dst = col_index64[edge_positions]
+        static_w = (
+            edge_weights64[edge_positions]
+            if edge_weights64 is not None
+            else np.ones(n_edges, dtype=np.float64)
+        )
+
+        ctx = StepContext(
+            graph=graph,
+            step=step,
+            curr=a_curr,
+            prev=prev[active],
+            degrees=a_deg,
+            seg_starts=seg_starts,
+            edge_query=edge_query,
+            dst=dst,
+            static_weights=static_w,
+            edge_positions=edge_positions,
+            edge_keys_sorted=edge_keys,
+        )
+        weights = algorithm.dynamic_weights(ctx)
+        chosen = sampler.select(ctx, weights, active)
+
+        sampled = chosen >= 0
+        next_vertices = np.full(active.size, -1, dtype=np.int64)
+        if np.any(sampled):
+            flat = seg_starts[sampled] + chosen[sampled]
+            next_vertices[sampled] = dst[flat]
+
+        if record_trace:
+            records.append(
+                StepRecord(
+                    step=step,
+                    query_ids=active.copy(),
+                    curr=a_curr.copy(),
+                    degrees=a_deg.astype(np.int64),
+                    prev=prev[active].copy(),
+                    prev_degrees=np.where(
+                        prev[active] >= 0, all_degrees[np.maximum(prev[active], 0)], 0
+                    ).astype(np.int64),
+                    next_vertex=next_vertices.copy(),
+                )
+            )
+
+        moved = active[sampled]
+        prev[moved] = curr[moved]
+        curr[moved] = next_vertices[sampled]
+        paths[moved, step + 1] = curr[moved]
+        lengths[moved] = step + 1
+        alive[active[~sampled]] = False
+
+    return WalkSession(
+        graph=graph,
+        algorithm=algorithm.name,
+        sampler=sampler.name,
+        starts=starts,
+        paths=paths,
+        lengths=lengths,
+        records=records,
+    )
+
+
+def walk_single_query(
+    graph: CSRGraph,
+    start: int,
+    n_steps: int,
+    algorithm: WalkAlgorithm,
+    k: int,
+    seed: int,
+    query_id: int = 0,
+) -> np.ndarray:
+    """Golden scalar reference: one query, one :class:`ParallelWRS` instance.
+
+    Feeds the candidate stream through the stateful k-wide sampler in
+    batches exactly as the hardware WRS Sampler consumes it.  With the same
+    ``seed``/``query_id``, :func:`run_walks` with a :class:`PWRSSampler`
+    reproduces this path bit-for-bit — the equivalence test anchoring the
+    vectorized engine to Algorithm 4.1.
+    """
+    algorithm.validate_graph(graph)
+    rng = ThundeRingRNG(k, derive_seed(seed, query_id))
+    sampler = ParallelWRS(k, rng)
+    edge_keys = graph.edge_keys() if algorithm.needs_edge_keys() else None
+    path = [int(start)]
+    curr = int(start)
+    prev = -1
+    for step in range(n_steps):
+        begin, end = graph.neighbor_slice(curr)
+        degree = end - begin
+        if degree == 0:
+            break
+        dst = graph.col_index[begin:end].astype(np.int64)
+        static_w = (
+            graph.edge_weights[begin:end].astype(np.float64)
+            if graph.edge_weights is not None
+            else np.ones(degree, dtype=np.float64)
+        )
+        ctx = StepContext(
+            graph=graph,
+            step=step,
+            curr=np.array([curr]),
+            prev=np.array([prev]),
+            degrees=np.array([degree]),
+            seg_starts=np.array([0]),
+            edge_query=np.zeros(degree, dtype=np.int64),
+            dst=dst,
+            static_weights=static_w,
+            edge_positions=np.arange(begin, end, dtype=np.int64),
+            edge_keys_sorted=edge_keys,
+        )
+        weights = quantize_weights(algorithm.dynamic_weights(ctx))
+        sampler.reset()
+        for chunk_start in range(0, degree, k):
+            chunk = slice(chunk_start, min(chunk_start + k, degree))
+            sampler.consume(dst[chunk], weights[chunk])
+        selected = sampler.result()
+        if selected is None:
+            break
+        prev, curr = curr, int(selected)
+        path.append(curr)
+    return np.asarray(path, dtype=np.int64)

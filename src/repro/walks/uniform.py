@@ -1,0 +1,21 @@
+"""Unbiased random walk (the DeepWalk primitive).
+
+Every out-edge of the current vertex gets weight one, so the next vertex is
+uniform over the neighbors.  Included as the simplest walk for tests and as
+the paper's reference point for what *static* walk engines optimize.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.walks.base import StepContext, WalkAlgorithm
+
+
+class UniformWalk(WalkAlgorithm):
+    """First-order unbiased walk: ``w^t = 1`` for every neighbor."""
+
+    name = "uniform"
+
+    def dynamic_weights(self, ctx: StepContext) -> np.ndarray:
+        return np.ones(ctx.n_edges, dtype=np.float64)

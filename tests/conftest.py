@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import chung_lu_graph, rmat_graph
+from repro.graph.labels import assign_random_weights, assign_vertex_labels
+
+
+@pytest.fixture
+def tiny_graph():
+    """A hand-checkable weighted digraph.
+
+    0 -> 1 (w 3), 0 -> 2 (w 1), 0 -> 3 (w 4),
+    1 -> 2 (w 2), 2 -> 0 (w 1), 3 -> 0 (w 5), 3 -> 2 (w 2).
+    Vertex 4 is a sink reachable from nothing (isolated).
+    """
+    edges = np.array(
+        [[0, 1], [0, 2], [0, 3], [1, 2], [2, 0], [3, 0], [3, 2]], dtype=np.int64
+    )
+    weights = np.array([3, 1, 4, 2, 1, 5, 2], dtype=np.float32)
+    return from_edge_list(edges, num_vertices=5, weights=weights, name="tiny")
+
+
+@pytest.fixture
+def labeled_graph():
+    """A small power-law graph with labels and weights for walk tests."""
+    graph = chung_lu_graph(256, avg_degree=8.0, seed=5, directed=False, name="labeled")
+    graph = assign_vertex_labels(graph, n_labels=3, seed=6)
+    graph = assign_random_weights(graph, seed=7)
+    return graph
+
+
+@pytest.fixture
+def rmat_small():
+    """An RMAT graph big enough to exercise caches and bursts."""
+    return rmat_graph(10, edge_factor=8, seed=3)

@@ -1,0 +1,178 @@
+"""Application layer: skip-gram embeddings and link prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.link_prediction import (
+    LinkPredictionPipeline,
+    auc_score,
+    split_edges,
+)
+from repro.apps.word2vec import (
+    SkipGramModel,
+    train_skipgram,
+    walk_training_pairs,
+)
+from repro.graph.generators import chung_lu_graph, cycle_graph
+
+
+class TestTrainingPairs:
+    def test_window_pairs(self):
+        paths = np.array([[0, 1, 2, -1]])
+        lengths = np.array([2])
+        pairs = walk_training_pairs(paths, lengths, window=1)
+        expected = {(0, 1), (1, 0), (1, 2), (2, 1)}
+        assert set(map(tuple, pairs.tolist())) == expected
+
+    def test_window_two(self):
+        paths = np.array([[0, 1, 2]])
+        pairs = walk_training_pairs(paths, np.array([2]), window=2)
+        assert (0, 2) in set(map(tuple, pairs.tolist()))
+
+    def test_padding_ignored(self):
+        paths = np.array([[3, -1, -1]])
+        pairs = walk_training_pairs(paths, np.array([0]), window=2)
+        assert pairs.shape[0] == 0
+
+    def test_subsampling(self):
+        paths = np.tile(np.arange(20), (50, 1))
+        pairs = walk_training_pairs(paths, np.full(50, 19), window=3, max_pairs=100)
+        assert pairs.shape[0] == 100
+
+    def test_empty(self):
+        pairs = walk_training_pairs(np.zeros((0, 5), dtype=int), np.zeros(0), window=2)
+        assert pairs.shape == (0, 2)
+
+
+class TestSkipGram:
+    def test_shapes_and_determinism(self):
+        pairs = np.array([[0, 1], [1, 0], [1, 2], [2, 1]] * 30)
+        a = train_skipgram(pairs, 4, dim=8, epochs=1, seed=3)
+        b = train_skipgram(pairs, 4, dim=8, epochs=1, seed=3)
+        assert a.in_vectors.shape == (4, 8)
+        np.testing.assert_array_equal(a.in_vectors, b.in_vectors)
+
+    def test_cooccurring_vertices_become_similar(self):
+        """Two communities; embeddings should separate them."""
+        rng = np.random.default_rng(0)
+        pairs = []
+        for group in (range(0, 5), range(5, 10)):
+            members = list(group)
+            for _ in range(600):
+                u, v = rng.choice(members, 2, replace=False)
+                pairs.append((u, v))
+        model = train_skipgram(np.array(pairs), 10, dim=12, epochs=4, seed=1)
+        same = model.similarity(0, 1)
+        cross = model.similarity(0, 7)
+        assert same > cross
+
+    def test_score_pairs_matches_similarity(self):
+        model = train_skipgram(np.array([[0, 1]] * 10), 3, dim=4, epochs=1, seed=0)
+        pairs = np.array([[0, 1], [1, 2]])
+        scores = model.score_pairs(pairs)
+        assert scores[0] == pytest.approx(model.similarity(0, 1))
+        assert scores[1] == pytest.approx(model.similarity(1, 2))
+
+    def test_invalid_pairs(self):
+        with pytest.raises(ValueError):
+            train_skipgram(np.zeros((3, 3)), 4)
+
+    def test_zero_norm_similarity(self):
+        model = SkipGramModel(
+            in_vectors=np.zeros((2, 4)), out_vectors=np.zeros((2, 4))
+        )
+        assert model.similarity(0, 1) == 0.0
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc_score(np.array([0.9, 0.8]), np.array([0.1, 0.2])) == 1.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(1)
+        auc = auc_score(rng.random(2000), rng.random(2000))
+        assert auc == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted(self):
+        assert auc_score(np.array([0.1]), np.array([0.9])) == 0.0
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            auc_score(np.array([]), np.array([0.5]))
+
+
+class TestSplitEdges:
+    def test_holdout_counts(self, labeled_graph):
+        train, positives, negatives = split_edges(labeled_graph, 0.1, seed=1)
+        assert positives.shape == negatives.shape
+        # Undirected: each held-out edge removes two arcs.
+        removed = labeled_graph.num_edges - train.num_edges
+        assert removed == pytest.approx(2 * positives.shape[0], abs=2)
+
+    def test_negatives_are_non_edges(self, labeled_graph):
+        __, __, negatives = split_edges(labeled_graph, 0.05, seed=2)
+        for u, v in negatives.tolist():
+            assert not labeled_graph.has_edge(u, v)
+
+    def test_positives_are_edges(self, labeled_graph):
+        __, positives, __ = split_edges(labeled_graph, 0.05, seed=3)
+        for u, v in positives.tolist():
+            assert labeled_graph.has_edge(u, v)
+
+    def test_invalid_fraction(self, labeled_graph):
+        with pytest.raises(ValueError):
+            split_edges(labeled_graph, 0.0)
+        with pytest.raises(ValueError):
+            split_edges(labeled_graph, 1.0)
+
+
+class TestPipeline:
+    def test_end_to_end_small(self):
+        graph = chung_lu_graph(512, avg_degree=10.0, seed=4, directed=False)
+        pipeline = LinkPredictionPipeline(
+            graph, hardware_scale=64, walk_length=10, embedding_dim=12, seed=4
+        )
+        report = pipeline.run(
+            holdout_fraction=0.1,
+            max_sampled_queries=128,
+            max_training_pairs=20_000,
+            epochs=1,
+        )
+        assert 0.0 <= report.auc <= 1.0
+        assert report.snap.total_s > 0
+        assert report.snap_with_lightrw.total_s > 0
+        # Accelerating the walk can only help end to end.
+        assert report.snap_with_lightrw.walk_s < report.snap.walk_s
+        assert report.end_to_end_speedup > 1.0
+        assert report.extras["walk_speedup"] > 1.0
+
+    def test_embeddings_beat_random_on_structured_graph(self):
+        """AUC above chance on a community-structured graph."""
+        # Ring of cliques: strong link structure for the embeddings.
+        rng = np.random.default_rng(7)
+        blocks = 16
+        size = 12
+        edges = []
+        for b in range(blocks):
+            base = b * size
+            for i in range(size):
+                for j in range(i + 1, size):
+                    if rng.random() < 0.6:
+                        edges.append((base + i, base + j))
+            edges.append((base, ((b + 1) % blocks) * size))
+        from repro.graph.builders import from_edge_list
+
+        graph = from_edge_list(
+            np.array(edges), num_vertices=blocks * size, directed=False,
+            deduplicate=True,
+        )
+        pipeline = LinkPredictionPipeline(
+            graph, hardware_scale=16, walk_length=15, embedding_dim=16, seed=5
+        )
+        report = pipeline.run(
+            holdout_fraction=0.1, max_sampled_queries=192,
+            max_training_pairs=60_000, epochs=3,
+        )
+        assert report.auc > 0.6

@@ -1,0 +1,76 @@
+"""Experiment CLI runner and result formatting edge cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.common import ExperimentResult, REGISTRY, _format_cell
+from repro.bench.runner import main
+
+
+class TestFormatting:
+    def test_format_cell_floats(self):
+        assert _format_cell(1.5) == "1.5"
+        assert _format_cell(1.0) == "1"
+        assert _format_cell(0.00001) == "1e-05"
+        assert _format_cell(123456.0) == "1.23e+05"
+        assert _format_cell("text") == "text"
+        assert _format_cell(0.0) == "0"
+
+    def test_empty_rows(self):
+        result = ExperimentResult("x", "t", [], "expectation")
+        assert result.format_table() == "(no rows)"
+
+    def test_ragged_rows_union_columns(self):
+        result = ExperimentResult(
+            "x", "t", [{"a": 1}, {"b": 2}], "expectation"
+        )
+        table = result.format_table()
+        assert "a" in table and "b" in table
+
+    def test_report_includes_notes_and_params(self):
+        result = ExperimentResult(
+            "x", "t", [{"a": 1}], "expectation", params={"p": 2}, notes=["hello"]
+        )
+        text = result.report()
+        assert "note: hello" in text
+        assert "{'p': 2}" in text
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "table5" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig6" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figure-nine"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_and_save(self, tmp_path, capsys):
+        assert main(["table5", "--save-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "table5.json").exists()
+
+    def test_report_requires_save_dir(self, capsys):
+        assert main(["table5", "--report", "/tmp/r.md"]) == 2
+
+    def test_report_written(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        assert main([
+            "table5", "--save-dir", str(tmp_path), "--report", str(report)
+        ]) == 0
+        assert report.exists()
+        assert "table5" in report.read_text()
+
+    def test_scale_override_passed(self, capsys):
+        assert main(["table2", "--scale", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "'scale_divisor': 2048" in out
+
+    def test_registry_well_formed(self):
+        for name, fn in REGISTRY.items():
+            assert callable(fn), name

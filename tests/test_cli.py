@@ -1,0 +1,77 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_info_dataset(capsys):
+    assert main(["info", "youtube", "--scale", "2048"]) == 0
+    out = capsys.readouterr().out
+    assert "youtube" in out
+    assert "mean_degree" in out
+
+
+def test_info_histogram(capsys):
+    main(["info", "yt", "--scale", "2048", "--histogram"])
+    assert "degree histogram" in capsys.readouterr().out
+
+
+def test_info_unknown_graph():
+    with pytest.raises(SystemExit):
+        main(["info", "not-a-dataset"])
+
+
+def test_generate_and_walk_roundtrip(tmp_path, capsys):
+    bundle = tmp_path / "g.npz"
+    assert main([
+        "generate", "rmat", str(bundle), "--vertices-log2", "7",
+        "--labels", "3", "--weights",
+    ]) == 0
+    assert bundle.exists()
+
+    paths_file = tmp_path / "paths.npz"
+    assert main([
+        "walk", str(bundle), "--algorithm", "node2vec", "--length", "6",
+        "--queries", "20", "--output", str(paths_file),
+    ]) == 0
+    payload = np.load(paths_file)
+    assert payload["paths"].shape[0] == 20
+    assert payload["lengths"].max() <= 6
+
+
+def test_walk_prints_paths(tmp_path, capsys):
+    bundle = tmp_path / "g.npz"
+    main(["generate", "chung-lu", str(bundle), "--vertices-log2", "7"])
+    capsys.readouterr()
+    main(["walk", str(bundle), "--algorithm", "uniform", "--length", "4",
+          "--queries", "8", "--show", "2"])
+    out = capsys.readouterr().out
+    assert "steps/s" in out
+
+
+def test_walk_metapath_schema(tmp_path, capsys):
+    bundle = tmp_path / "g.npz"
+    main(["generate", "rmat", str(bundle), "--vertices-log2", "7", "--labels", "2"])
+    capsys.readouterr()
+    assert main([
+        "walk", str(bundle), "--algorithm", "metapath", "--schema", "0,1",
+        "--length", "4", "--queries", "10",
+    ]) == 0
+
+
+def test_walk_text_edge_list(tmp_path):
+    edge_file = tmp_path / "edges.txt"
+    edge_file.write_text("0 1\n1 2\n2 0\n")
+    assert main([
+        "walk", str(edge_file), "--algorithm", "uniform", "--length", "3",
+        "--queries", "3",
+    ]) == 0
+
+
+def test_rngtest(capsys):
+    assert main(["rngtest", "--samples", "20000", "--lanes", "4"]) == 0
+    assert "battery: PASS" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Cross-sampler distributional agreement on a shared workload.
+
+Both engines (PWRS on the accelerator, inverse transform on the CPU) must
+sample from the same transition laws — the paper's comparisons would be
+meaningless otherwise.  These tests pit the two samplers against each
+other and against the exact law on identical workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.graph.builders import from_edge_list
+from repro.walks.node2vec import Node2VecWalk
+from repro.walks.static import StaticWalk
+from repro.walks.stepper import InverseTransformSampler, PWRSSampler, run_walks
+from repro.walks.validation import exact_step_distribution
+
+
+@pytest.fixture(scope="module")
+def weighted_fan():
+    """A fan with distinctive weights: 0 -> {1..6} with w = 1..6."""
+    edges = np.array([[0, v] for v in range(1, 7)])
+    weights = np.arange(1, 7, dtype=np.float32)
+    return from_edge_list(edges, num_vertices=7, weights=weights)
+
+
+class TestAgainstExactLaw:
+    N = 24_000
+
+    def _first_steps(self, graph, sampler):
+        starts = np.zeros(self.N, dtype=np.int64)
+        session = run_walks(graph, starts, 1, StaticWalk(), sampler)
+        return session.paths[:, 1]
+
+    @pytest.mark.parametrize("make_sampler", [
+        lambda: PWRSSampler(k=16, seed=77),
+        lambda: PWRSSampler(k=1, seed=77),
+        lambda: InverseTransformSampler(seed=77),
+    ], ids=["pwrs16", "pwrs1", "itx"])
+    def test_sampler_matches_exact(self, weighted_fan, make_sampler):
+        exact = exact_step_distribution(weighted_fan, StaticWalk(), 0)
+        picks = self._first_steps(weighted_fan, make_sampler())
+        observed = np.bincount(picks, minlength=7)[1:]
+        expected = exact[1:] * self.N
+        __, p_value = stats.chisquare(observed, expected)
+        assert p_value > 1e-4
+
+    def test_pwrs_and_itx_are_homogeneous(self, weighted_fan):
+        """The two samplers' draws are statistically indistinguishable."""
+        pwrs = self._first_steps(weighted_fan, PWRSSampler(16, 13))
+        itx = self._first_steps(weighted_fan, InverseTransformSampler(13))
+        table = np.stack([
+            np.bincount(pwrs, minlength=7)[1:],
+            np.bincount(itx, minlength=7)[1:],
+        ])
+        __, p_value, *_ = stats.chi2_contingency(table)
+        assert p_value > 1e-4
+
+
+class TestSecondOrderAgreement:
+    def test_node2vec_visit_distributions_agree(self, labeled_graph):
+        """Multi-step Node2Vec visit frequencies match across samplers."""
+        starts = np.tile(labeled_graph.nonzero_degree_vertices()[:64], 8)
+        walk = Node2VecWalk(2.0, 0.5)
+        a = run_walks(labeled_graph, starts, 15, walk, PWRSSampler(16, 3))
+        b = run_walks(labeled_graph, starts, 15, walk, InverseTransformSampler(3))
+        freq_a = np.bincount(
+            a.paths[a.paths >= 0], minlength=labeled_graph.num_vertices
+        ).astype(float)
+        freq_b = np.bincount(
+            b.paths[b.paths >= 0], minlength=labeled_graph.num_vertices
+        ).astype(float)
+        freq_a /= freq_a.sum()
+        freq_b /= freq_b.sum()
+        assert np.corrcoef(freq_a, freq_b)[0, 1] > 0.97
+        assert 0.5 * np.abs(freq_a - freq_b).sum() < 0.15  # TV distance

@@ -1,0 +1,77 @@
+"""Named dataset stand-ins (Table 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.datasets import (
+    DATASET_ORDER,
+    DATASETS,
+    dataset_table,
+    load_dataset,
+)
+
+
+def test_specs_match_paper_table2():
+    lj = DATASETS["livejournal"]
+    assert lj.num_vertices == 4_800_000
+    assert lj.num_edges == 68_900_000
+    assert lj.avg_degree == 14
+    assert not lj.directed
+    uk = DATASETS["uk2002"]
+    assert uk.directed
+    assert uk.num_edges == 298_110_000
+    assert len(DATASET_ORDER) == 5
+
+
+def test_load_by_abbreviation():
+    a = load_dataset("LJ", scale_divisor=1024)
+    b = load_dataset("livejournal", scale_divisor=1024)
+    np.testing.assert_array_equal(a.col_index, b.col_index)
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError, match="unknown dataset"):
+        load_dataset("facebook")
+
+
+def test_invalid_scale():
+    with pytest.raises(ValueError):
+        load_dataset("youtube", scale_divisor=0)
+
+
+def test_deterministic():
+    a = load_dataset("youtube", scale_divisor=512, seed=9)
+    b = load_dataset("youtube", scale_divisor=512, seed=9)
+    np.testing.assert_array_equal(a.col_index, b.col_index)
+    np.testing.assert_array_equal(a.vertex_labels, b.vertex_labels)
+    np.testing.assert_array_equal(a.edge_weights, b.edge_weights)
+
+
+@pytest.mark.parametrize("name", DATASET_ORDER)
+def test_standins_preserve_structure(name):
+    spec = DATASETS[name]
+    graph = load_dataset(name, scale_divisor=512)
+    assert graph.directed == spec.directed
+    assert graph.num_vertices == pytest.approx(spec.num_vertices / 512, rel=0.01)
+    # Average degree within 35% of the original (dedup collisions allow
+    # some slack on the heaviest graphs).
+    assert graph.average_degree == pytest.approx(spec.avg_degree, rel=0.35)
+    # Power-law skew: the hubs dominate.
+    assert graph.max_degree > 8 * graph.average_degree
+    assert graph.vertex_labels is not None
+    assert graph.edge_weights is not None
+
+
+def test_without_weights():
+    graph = load_dataset("youtube", scale_divisor=1024, with_weights=False)
+    assert graph.edge_weights is None
+
+
+def test_dataset_table_rows():
+    rows = dataset_table(scale_divisor=1024)
+    assert [row["name"] for row in rows] == DATASET_ORDER
+    for row in rows:
+        assert row["standin_V"] > 0
+        assert row["standin_E"] > 0

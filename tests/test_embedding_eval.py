@@ -1,0 +1,120 @@
+"""Embedding evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.evaluation import (
+    community_separation,
+    embedding_report,
+    nearest_neighbor_label_accuracy,
+    precision_at_k,
+)
+from repro.apps.word2vec import SkipGramModel
+
+
+def _clustered_model(n_per_block=10, blocks=3, dim=8, noise=0.05, seed=0):
+    """Embeddings placed on well-separated cluster centers."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(blocks, dim)) * 3
+    vectors = np.concatenate(
+        [centers[b] + noise * rng.normal(size=(n_per_block, dim)) for b in range(blocks)]
+    )
+    labels = np.repeat(np.arange(blocks), n_per_block)
+    return SkipGramModel(in_vectors=vectors, out_vectors=vectors.copy()), labels
+
+
+class TestPrecisionAtK:
+    def test_perfect_model(self):
+        model, labels = _clustered_model()
+        # Positives: same-cluster pairs; negatives: cross-cluster.
+        positives = np.array([[0, 1], [10, 11], [20, 21]])
+        negatives = np.array([[0, 10], [1, 20], [11, 21]])
+        assert precision_at_k(model, positives, negatives, 3) == 1.0
+
+    def test_k_larger_than_sample(self):
+        model, __ = _clustered_model()
+        positives = np.array([[0, 1]])
+        negatives = np.array([[0, 10]])
+        value = precision_at_k(model, positives, negatives, 100)
+        assert value == pytest.approx(0.5)
+
+    def test_invalid_k(self):
+        model, __ = _clustered_model()
+        with pytest.raises(ValueError):
+            precision_at_k(model, np.array([[0, 1]]), np.array([[0, 2]]), 0)
+
+
+class TestLabelCoherence:
+    def test_clustered_embeddings_score_high(self):
+        model, labels = _clustered_model()
+        assert nearest_neighbor_label_accuracy(model, labels) == 1.0
+        assert community_separation(model, labels) > 0.3
+
+    def test_random_embeddings_score_at_chance(self):
+        rng = np.random.default_rng(1)
+        vectors = rng.normal(size=(90, 8))
+        model = SkipGramModel(in_vectors=vectors, out_vectors=vectors)
+        labels = np.repeat(np.arange(3), 30)
+        accuracy = nearest_neighbor_label_accuracy(model, labels)
+        assert accuracy < 0.6  # chance is ~1/3
+        assert abs(community_separation(model, labels)) < 0.1
+
+    def test_single_community_rejected(self):
+        model, __ = _clustered_model(blocks=1)
+        with pytest.raises(ValueError):
+            community_separation(model, np.zeros(10, dtype=int))
+
+
+class TestReport:
+    def test_full_report_keys(self):
+        model, labels = _clustered_model()
+        positives = np.array([[0, 1], [10, 11]])
+        negatives = np.array([[0, 10], [1, 20]])
+        report = embedding_report(model, positives, negatives, labels, k=4)
+        assert set(report) == {
+            "auc", "precision_at_4", "nn_label_accuracy", "community_separation",
+        }
+        assert report["auc"] == 1.0
+
+    def test_report_without_labels(self):
+        model, __ = _clustered_model()
+        report = embedding_report(
+            model, np.array([[0, 1]]), np.array([[0, 10]])
+        )
+        assert "nn_label_accuracy" not in report
+
+
+class TestEndToEndQuality:
+    def test_accelerated_walks_produce_coherent_embeddings(self):
+        """Walks from the modeled accelerator → SGNS → coherent space."""
+        from repro import LightRW, Node2VecWalk
+        from repro.apps.word2vec import train_skipgram, walk_training_pairs
+        from repro.graph.builders import from_edge_list
+
+        rng = np.random.default_rng(3)
+        blocks, size = 6, 20
+        edges = []
+        for b in range(blocks):
+            base = b * size
+            for i in range(size):
+                for j in range(i + 1, size):
+                    if rng.random() < 0.35:
+                        edges.append((base + i, base + j))
+            edges.append((base, ((b + 1) % blocks) * size))
+        graph = from_edge_list(
+            np.array(edges), num_vertices=blocks * size, directed=False,
+            deduplicate=True,
+        )
+        labels = np.repeat(np.arange(blocks), size)
+
+        engine = LightRW(graph, seed=4)
+        result = engine.run(Node2VecWalk(1.0, 0.5), 25)
+        pairs = walk_training_pairs(result.paths, result.lengths, window=4, seed=4)
+        model = train_skipgram(
+            pairs, graph.num_vertices, dim=16, epochs=4, seed=4,
+            degree_weights=graph.degrees,
+        )
+        assert nearest_neighbor_label_accuracy(model, labels) > 0.7
+        assert community_separation(model, labels) > 0.1

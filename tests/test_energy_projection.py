@@ -1,0 +1,101 @@
+"""Energy accounting and terabyte-scale capacity projection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga.distributed import NetworkSpec
+from repro.fpga.energy import EnergyReport, energy_comparison
+from repro.fpga.projection import (
+    BoardSpec,
+    graph_footprint_bytes,
+    plan_capacity,
+)
+
+
+class TestEnergy:
+    def test_joules(self):
+        report = EnergyReport("x", time_s=2.0, watts=40.0)
+        assert report.joules == 80.0
+        assert report.joules_per_step(1000) == pytest.approx(0.08)
+        assert report.energy_delay_product == 160.0
+
+    def test_invalid_steps(self):
+        with pytest.raises(ValueError):
+            EnergyReport("x", 1.0, 40.0).joules_per_step(0)
+
+    def test_comparison_improvements(self):
+        row = energy_comparison("metapath", fpga_time_s=1.0, cpu_time_s=8.0,
+                                total_steps=10_000)
+        # 8x faster at ~1/3 the power: energy improvement ~ 20-25x.
+        assert 15 < row["energy_improvement"] < 30
+        # EDP squares the time advantage.
+        assert row["edp_improvement"] == pytest.approx(
+            row["energy_improvement"] * 8.0
+        )
+        assert row["lightrw_nj_per_step"] < row["thunderrw_nj_per_step"]
+
+    def test_invalid_times(self):
+        with pytest.raises(ValueError):
+            energy_comparison("metapath", 0.0, 1.0, 100)
+
+
+class TestFootprint:
+    def test_layout_bytes(self):
+        # 8 B per vertex + (4 + 4) B per weighted edge.
+        assert graph_footprint_bytes(100, 1000, weighted=True) == 100 * 8 + 1000 * 8
+        assert graph_footprint_bytes(100, 1000, weighted=False) == 100 * 8 + 1000 * 4
+
+
+class TestCapacityPlan:
+    def test_small_graph_single_board_replicated(self):
+        plan = plan_capacity(1_000_000, 10_000_000)
+        assert plan.boards_planned == 1
+        assert plan.replicated_within_board
+        assert plan.network_bound_fraction == 0.0
+        assert plan.projected_steps_per_second == pytest.approx(4.8e7)
+
+    def test_terabyte_graph_needs_boards(self):
+        # ~1 TB of edges: 125e9 edges at 8 B.
+        plan = plan_capacity(4_000_000_000, 125_000_000_000)
+        assert not plan.replicated_within_board
+        assert plan.boards_for_capacity >= 30  # 64 GB boards, 2x headroom
+        assert plan.projected_steps_per_second > 0
+
+    def test_insufficient_boards_rejected(self):
+        with pytest.raises(ConfigError):
+            plan_capacity(4_000_000_000, 125_000_000_000, target_boards=2)
+
+    def test_more_boards_more_throughput_until_network(self):
+        kwargs = dict(num_vertices=100_000_000, num_edges=3_000_000_000)
+        rates = [
+            plan_capacity(**kwargs, target_boards=b).projected_steps_per_second
+            for b in (2, 4, 8, 16)
+        ]
+        assert all(a <= b * 1.0001 for a, b in zip(rates, rates[1:]))
+
+    def test_slow_network_caps_throughput(self):
+        slow = NetworkSpec(bandwidth_bytes_per_s=1e8)
+        plan = plan_capacity(
+            100_000_000, 3_000_000_000, network=slow, target_boards=8
+        )
+        fast = plan_capacity(100_000_000, 3_000_000_000, target_boards=8)
+        assert plan.projected_steps_per_second < fast.projected_steps_per_second
+        assert plan.network_bound_fraction == 1.0
+
+    def test_row_format(self):
+        row = plan_capacity(1_000_000, 10_000_000).as_row()
+        assert row["replication"] == "per-channel"
+
+    def test_invalid_graph(self):
+        with pytest.raises(ConfigError):
+            plan_capacity(0, 10)
+
+    def test_custom_board(self):
+        big_board = BoardSpec(name="hypothetical", dram_bytes=512 << 30, n_channels=8,
+                              steps_per_second_per_channel=1.2e7)
+        plan = plan_capacity(4_000_000_000, 60_000_000_000, board=big_board)
+        assert plan.boards_for_capacity < plan_capacity(
+            4_000_000_000, 60_000_000_000
+        ).boards_for_capacity

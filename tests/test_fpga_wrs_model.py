@@ -1,0 +1,77 @@
+"""WRS Sampler timing model (Figures 10a/10b)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga.dram import DRAMTimings
+from repro.fpga.wrs_sampler import WRSSamplerModel
+from repro.units import GIGA
+
+
+class TestStreamCycles:
+    def test_complexity_formula(self):
+        """Cycles follow the paper's O(n/k + log k)."""
+        model = WRSSamplerModel(k=8)
+        assert model.stream_cycles(80) == 10 + model.fill_cycles
+        assert model.stream_cycles(81) == 11 + model.fill_cycles
+
+    def test_zero_items(self):
+        model = WRSSamplerModel(k=16)
+        assert model.stream_cycles(0) == 0
+        assert model.occupancy_cycles(0) == 0
+
+    def test_vectorized(self):
+        model = WRSSamplerModel(k=4)
+        cycles = model.stream_cycles(np.array([0, 1, 4, 5]))
+        fill = model.fill_cycles
+        np.testing.assert_array_equal(cycles, [0, 1 + fill, 1 + fill, 2 + fill])
+
+    def test_fill_grows_with_log_k(self):
+        assert WRSSamplerModel(k=16).fill_cycles == WRSSamplerModel(k=4).fill_cycles + 2
+
+
+class TestThroughput:
+    def test_linear_scaling_until_bandwidth(self):
+        dram = DRAMTimings()
+        rates = [
+            WRSSamplerModel(k=k).sustained_items_per_second(dram)
+            for k in (1, 2, 4, 8)
+        ]
+        for k_index in range(3):
+            assert rates[k_index + 1] == pytest.approx(2 * rates[k_index])
+
+    def test_saturation_at_k16(self):
+        """k = 16 hits the channel's byte rate; k = 32 gains nothing."""
+        dram = DRAMTimings()
+        peak = dram.peak_bandwidth_gbps * GIGA / 4
+        assert WRSSamplerModel(k=16).sustained_items_per_second(dram) == pytest.approx(peak)
+        assert WRSSamplerModel(k=32).sustained_items_per_second(dram) == pytest.approx(peak)
+
+    def test_no_dram_cap(self):
+        assert WRSSamplerModel(k=32).sustained_items_per_second(None) == 32 * 300e6
+
+    def test_measured_below_peak_for_short_streams(self):
+        model = WRSSamplerModel(k=16)
+        dram = DRAMTimings()
+        short = model.measured_throughput(64, dram)
+        long = model.measured_throughput(1 << 16, dram)
+        assert short < long
+        assert short > 0.5 * long  # "slightly less", not a collapse
+
+    def test_measured_never_exceeds_cap(self):
+        model = WRSSamplerModel(k=32)
+        dram = DRAMTimings()
+        assert model.measured_throughput(1 << 20, dram) <= (
+            model.sustained_items_per_second(dram) + 1
+        )
+
+    def test_zero_stream(self):
+        assert WRSSamplerModel(k=4).measured_throughput(0) == 0.0
+
+
+def test_k_must_be_power_of_two():
+    with pytest.raises(ConfigError):
+        WRSSamplerModel(k=3)

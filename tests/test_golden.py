@@ -1,0 +1,89 @@
+"""Golden regression tests.
+
+These lock the *exact* deterministic outputs of the seeded pipeline —
+graph generation, the RNG lanes, and sampled walks — so that refactors
+cannot silently change behaviour that downstream users rely on for
+reproducibility.  If a change intentionally alters sampling semantics,
+these values must be regenerated and the change called out loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import rmat_graph
+from repro.graph.labels import assign_random_weights, assign_vertex_labels
+from repro.sampling.rng import ThundeRingRNG, derive_seed, splitmix64
+from repro.walks import (
+    MetaPathWalk,
+    Node2VecWalk,
+    PWRSSampler,
+    UniformWalk,
+    run_walks,
+)
+
+
+@pytest.fixture(scope="module")
+def golden_graph():
+    graph = rmat_graph(7, edge_factor=6, seed=42, deduplicate=True)
+    graph = assign_vertex_labels(graph, n_labels=3, seed=43)
+    return assign_random_weights(graph, seed=44)
+
+
+class TestGoldenGraph:
+    def test_generation_fingerprint(self, golden_graph):
+        assert golden_graph.num_vertices == 128
+        assert golden_graph.num_edges == 545
+        assert int(golden_graph.row_index.sum()) == 50162
+        assert int(golden_graph.col_index.astype(np.int64).sum()) == 18291
+
+
+class TestGoldenRNG:
+    def test_splitmix_reference_values(self):
+        # Independently verifiable SplitMix64 outputs.
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+        assert splitmix64(1) == 0x910A2DEC89025CC1
+
+    def test_lane_block(self):
+        block = ThundeRingRNG(4, seed=7).uint32_block(2)
+        expected = [
+            [2551625027, 1950809775, 4214272843, 690049624],
+            [1229511393, 3014805488, 2928659307, 2259496053],
+        ]
+        np.testing.assert_array_equal(block, expected)
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(7, 0) == derive_seed(7, 0)
+        # Spot value pinned (downstream per-query lanes depend on it).
+        assert derive_seed(0, 0) == splitmix64(splitmix64(0))
+
+
+class TestGoldenWalks:
+    STARTS = [0, 1, 2, 3, 4, 5]
+
+    def _walk(self, graph, algorithm):
+        starts = np.asarray(self.STARTS)
+        session = run_walks(graph, starts, 6, algorithm, PWRSSampler(8, 2024))
+        return [session.path(q).tolist() for q in range(3)]
+
+    def test_uniform_paths(self, golden_graph):
+        assert self._walk(golden_graph, UniformWalk()) == [
+            [0, 35, 18, 34, 32, 10, 18],
+            [1, 40, 97, 4, 8, 42, 9],
+            [2, 109],
+        ]
+
+    def test_node2vec_paths(self, golden_graph):
+        assert self._walk(golden_graph, Node2VecWalk(2.0, 0.5)) == [
+            [0, 35, 18, 34, 32, 10, 18],
+            [1, 40, 97, 4, 8, 42, 9],
+            [2, 109],
+        ]
+
+    def test_metapath_paths(self, golden_graph):
+        assert self._walk(golden_graph, MetaPathWalk([0, 1, 2])) == [
+            [0, 35, 104, 68, 1, 82, 68],
+            [1, 19, 20, 56, 9, 0, 30],
+            [2, 32, 12, 44],
+        ]

@@ -1,0 +1,151 @@
+"""Heterogeneous graph generation and the open-loop queueing model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GraphFormatError
+from repro.fpga.queueing import ServerModel, response_curve
+from repro.graph.heterogeneous import (
+    HeterogeneousSchema,
+    bibliographic_schema,
+    heterogeneous_graph,
+)
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.stepper import PWRSSampler, run_walks
+
+
+@pytest.fixture(scope="module")
+def biblio():
+    schema = bibliographic_schema(n_authors=200, n_papers=400, n_venues=10)
+    return schema, heterogeneous_graph(schema, seed=3)
+
+
+class TestSchema:
+    def test_labels_and_slices(self, biblio):
+        schema, graph = biblio
+        assert schema.label_of("author") == 0
+        assert schema.label_of("venue") == 2
+        start, end = schema.layer_slice("paper")
+        assert end - start == 400
+        assert (graph.vertex_labels[start:end] == schema.label_of("paper")).all()
+
+    def test_metapath_translation(self, biblio):
+        schema, __ = biblio
+        assert schema.metapath_schema(["author", "paper", "venue"]) == [0, 1, 2]
+
+    def test_unknown_layer(self, biblio):
+        schema, __ = biblio
+        with pytest.raises(GraphFormatError):
+            schema.label_of("editor")
+        with pytest.raises(GraphFormatError):
+            schema.layer_slice("editor")
+
+    def test_invalid_schemas(self):
+        with pytest.raises(GraphFormatError):
+            HeterogeneousSchema(layers={}, relations=[])
+        with pytest.raises(GraphFormatError):
+            HeterogeneousSchema(layers={"a": 0}, relations=[])
+        with pytest.raises(GraphFormatError):
+            HeterogeneousSchema(layers={"a": 5}, relations=[("a", "b", 1.0)])
+        with pytest.raises(GraphFormatError):
+            HeterogeneousSchema(layers={"a": 5}, relations=[("a", "a", 0.0)])
+
+
+class TestGeneration:
+    def test_edges_respect_relations(self, biblio):
+        """Every edge connects layers that share a declared relation."""
+        schema, graph = biblio
+        allowed = set()
+        for src, dst, __ in schema.relations:
+            allowed.add((schema.label_of(src), schema.label_of(dst)))
+            allowed.add((schema.label_of(dst), schema.label_of(src)))
+        sources = np.repeat(np.arange(graph.num_vertices), graph.degrees)
+        pairs = set(
+            zip(
+                graph.vertex_labels[sources].tolist(),
+                graph.vertex_labels[graph.col_index].tolist(),
+            )
+        )
+        assert pairs <= allowed
+
+    def test_deterministic(self):
+        schema = bibliographic_schema(100, 200, 5)
+        a = heterogeneous_graph(schema, seed=9)
+        b = heterogeneous_graph(schema, seed=9)
+        np.testing.assert_array_equal(a.col_index, b.col_index)
+
+    def test_skew_increases_hub_mass(self):
+        schema = bibliographic_schema(300, 600, 15)
+        flat = heterogeneous_graph(schema, seed=4, skew=0.0)
+        skewed = heterogeneous_graph(schema, seed=4, skew=1.0)
+        v_start, v_end = schema.layer_slice("venue")
+        flat_max = flat.degrees[v_start:v_end].max()
+        skewed_max = skewed.degrees[v_start:v_end].max()
+        assert skewed_max > flat_max
+
+    def test_invalid_skew(self):
+        with pytest.raises(GraphFormatError):
+            heterogeneous_graph(bibliographic_schema(10, 10, 2), skew=1.5)
+
+    def test_metapath_walks_follow_layers(self, biblio):
+        """A-P-V-P-A walks visit exactly those layers in order."""
+        schema, graph = biblio
+        labels = schema.metapath_schema(["author", "paper", "venue", "paper", "author"])
+        walk = MetaPathWalk(labels, weighted=False)
+        a_start, a_end = schema.layer_slice("author")
+        authors = np.arange(a_start, a_end)
+        starts = authors[graph.degrees[authors] > 0][:50]
+        session = run_walks(graph, starts, 4, walk, PWRSSampler(16, 5))
+        completed = session.lengths == 4
+        assert completed.any()
+        for q in np.nonzero(completed)[0]:
+            path = session.path(q)
+            observed = graph.vertex_labels[path].tolist()
+            assert observed == labels
+
+
+class TestServerModel:
+    def test_from_latency_sample(self):
+        latencies = np.array([1e-5, 1e-5, 2e-5, 2e-5])
+        server = ServerModel.from_latency_sample("x", latencies, capacity_qps=1e5)
+        assert server.mean_service_s == pytest.approx(1.5e-5)
+        assert server.service_scv == pytest.approx((0.25e-10) / (1.5e-5) ** 2)
+
+    def test_empty_sample(self):
+        with pytest.raises(ConfigError):
+            ServerModel.from_latency_sample("x", np.array([]), 1.0)
+
+    def test_response_time_grows_with_load(self):
+        server = ServerModel("x", mean_service_s=1e-5, service_scv=1.0, capacity_qps=1e5)
+        times = [server.mean_response_s(f * 1e5) for f in (0.1, 0.5, 0.9, 0.99)]
+        assert times == sorted(times)
+        assert times[0] >= server.mean_service_s
+
+    def test_saturation_is_infinite(self):
+        server = ServerModel("x", 1e-5, 0.5, 1e5)
+        assert server.mean_response_s(1e5) == float("inf")
+        assert server.p99_response_s(2e5) == float("inf")
+
+    def test_variance_hurts(self):
+        calm = ServerModel("calm", 1e-5, 0.1, 1e5)
+        jittery = ServerModel("jittery", 1e-5, 2.0, 1e5)
+        load = 0.8 * 1e5
+        assert jittery.mean_response_s(load) > calm.mean_response_s(load)
+
+    def test_response_curve_rows(self):
+        server = ServerModel("x", 1e-5, 0.5, 1e5)
+        rows = response_curve(server, [0.2, 0.8])
+        assert len(rows) == 2
+        assert rows[1]["mean_response_s"] > rows[0]["mean_response_s"]
+        with pytest.raises(ConfigError):
+            response_curve(server, [1.0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            ServerModel("x", 0.0, 0.5, 1e5)
+        with pytest.raises(ConfigError):
+            ServerModel("x", 1e-5, -0.1, 1e5)
+        with pytest.raises(ConfigError):
+            ServerModel("x", 1e-5, 0.5, 1e5).mean_response_s(-1)

@@ -1,0 +1,88 @@
+"""Graph partitioning and its effect on the distributed model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga.distributed import DistributedLightRW
+from repro.fpga.platforms import u250_config
+from repro.graph.generators import chung_lu_graph, cycle_graph
+from repro.graph.partition import (
+    greedy_grow_partition,
+    hash_partition,
+    partition_quality,
+    range_partition,
+)
+from repro.walks.stepper import PWRSSampler, run_walks
+from repro.walks.uniform import UniformWalk
+
+
+@pytest.fixture(scope="module")
+def community_graph():
+    return chung_lu_graph(512, avg_degree=8.0, seed=3, directed=False)
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("partitioner", [
+        hash_partition, range_partition,
+        lambda g, p: greedy_grow_partition(g, p, seed=1),
+    ], ids=["hash", "range", "greedy"])
+    def test_complete_assignment(self, community_graph, partitioner):
+        assignment = partitioner(community_graph, 4)
+        assert assignment.shape == (community_graph.num_vertices,)
+        assert assignment.min() >= 0
+        assert assignment.max() <= 3
+
+    def test_hash_balance_is_perfect(self, community_graph):
+        quality = partition_quality(community_graph, hash_partition(community_graph, 4))
+        assert quality.balance < 1.6  # edge balance under hashing is decent
+
+    def test_range_partition_edge_balanced(self, community_graph):
+        quality = partition_quality(
+            community_graph, range_partition(community_graph, 4)
+        )
+        assert quality.balance < 1.3
+
+    def test_greedy_cuts_fewer_edges_than_hash(self, community_graph):
+        hash_q = partition_quality(community_graph, hash_partition(community_graph, 4))
+        greedy_q = partition_quality(
+            community_graph, greedy_grow_partition(community_graph, 4, seed=2)
+        )
+        assert greedy_q.edge_cut_fraction < hash_q.edge_cut_fraction
+
+    def test_cycle_range_partition_cut(self):
+        """A cycle split into contiguous ranges cuts exactly n_parts edges."""
+        graph = cycle_graph(64)
+        quality = partition_quality(graph, range_partition(graph, 4))
+        assert quality.edge_cut_fraction == pytest.approx(4 / 64)
+
+    def test_invalid_inputs(self, community_graph):
+        with pytest.raises(ConfigError):
+            hash_partition(community_graph, 0)
+        with pytest.raises(ConfigError):
+            partition_quality(community_graph, np.zeros(3, dtype=np.int32))
+
+
+class TestDistributedWithPartitioners:
+    def test_better_partition_less_migration(self, community_graph):
+        starts = community_graph.nonzero_degree_vertices()[:64]
+        session = run_walks(
+            community_graph, starts, 8, UniformWalk(), PWRSSampler(16, 4)
+        )
+        config = u250_config().scaled(64)
+        hashed = DistributedLightRW(config, UniformWalk(), 4).evaluate(session)
+        greedy = DistributedLightRW(
+            config, UniformWalk(), 4,
+            assignment=greedy_grow_partition(community_graph, 4, seed=2),
+        ).evaluate(session)
+        assert greedy.migration_fraction < hashed.migration_fraction
+        assert greedy.network_s < hashed.network_s
+
+    def test_assignment_validated(self, community_graph):
+        with pytest.raises(ConfigError):
+            DistributedLightRW(
+                u250_config(), UniformWalk(), 2,
+                assignment=np.full(community_graph.num_vertices, 5),
+            )

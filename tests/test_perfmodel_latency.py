@@ -1,0 +1,81 @@
+"""Latency semantics of the analytic FPGA model (Figure 15's machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fpga.config import LightRWConfig
+from repro.fpga.perfmodel import FPGAPerfModel
+from repro.walks.node2vec import Node2VecWalk
+from repro.walks.stepper import PWRSSampler, run_walks
+from repro.walks.uniform import UniformWalk
+
+
+@pytest.fixture
+def session(labeled_graph):
+    starts = labeled_graph.nonzero_degree_vertices()[:48]
+    return run_walks(labeled_graph, starts, 10, UniformWalk(), PWRSSampler(16, 8))
+
+
+class TestLatencySemantics:
+    def test_longer_walks_higher_latency(self, labeled_graph):
+        starts = labeled_graph.nonzero_degree_vertices()[:32]
+        model = FPGAPerfModel(LightRWConfig(), UniformWalk())
+        short = model.evaluate(
+            run_walks(labeled_graph, starts, 3, UniformWalk(), PWRSSampler(16, 1))
+        ).query_latency_seconds()
+        long = model.evaluate(
+            run_walks(labeled_graph, starts, 12, UniformWalk(), PWRSSampler(16, 1))
+        ).query_latency_seconds()
+        assert np.median(long) > np.median(short)
+
+    def test_contention_grows_with_inflight(self, session):
+        relaxed = FPGAPerfModel(
+            LightRWConfig(max_inflight=1), UniformWalk()
+        ).evaluate(session).query_latency_seconds()
+        contended = FPGAPerfModel(
+            LightRWConfig(max_inflight=64), UniformWalk()
+        ).evaluate(session).query_latency_seconds()
+        assert np.median(contended) >= np.median(relaxed)
+
+    def test_dram_latency_contributes(self, session):
+        from dataclasses import replace
+
+        from repro.fpga.dram import DRAMTimings
+
+        fast = FPGAPerfModel(
+            LightRWConfig(dram=DRAMTimings(latency_cycles=10)), UniformWalk()
+        ).evaluate(session).query_latency_seconds()
+        slow = FPGAPerfModel(
+            LightRWConfig(dram=DRAMTimings(latency_cycles=200)), UniformWalk()
+        ).evaluate(session).query_latency_seconds()
+        assert np.median(slow) > np.median(fast)
+
+    def test_second_order_latency_higher(self, labeled_graph):
+        starts = labeled_graph.nonzero_degree_vertices()[:32]
+        uniform = FPGAPerfModel(LightRWConfig(), UniformWalk()).evaluate(
+            run_walks(labeled_graph, starts, 8, UniformWalk(), PWRSSampler(16, 2))
+        )
+        n2v = FPGAPerfModel(
+            LightRWConfig(prev_buffer_edges=0), Node2VecWalk()
+        ).evaluate(
+            run_walks(labeled_graph, starts, 8, Node2VecWalk(), PWRSSampler(16, 2))
+        )
+        per_step_uniform = uniform.query_latency_seconds().sum() / uniform.total_steps
+        per_step_n2v = n2v.query_latency_seconds().sum() / n2v.total_steps
+        assert per_step_n2v > per_step_uniform
+
+    def test_zero_step_queries_have_near_zero_latency(self, labeled_graph):
+        """Queries starting on sinks never enter the pipeline."""
+        sinks = np.nonzero(labeled_graph.degrees == 0)[0]
+        if sinks.size == 0:
+            pytest.skip("fixture graph has no sinks")
+        walkable = labeled_graph.nonzero_degree_vertices()[:4]
+        starts = np.concatenate([sinks[:2], walkable])
+        session = run_walks(labeled_graph, starts, 5, UniformWalk(), PWRSSampler(16, 3))
+        latencies = FPGAPerfModel(LightRWConfig(), UniformWalk()).evaluate(
+            session
+        ).query_latency_seconds()
+        assert (latencies[:2] == 0).all()
+        assert (latencies[2:] > 0).all()

@@ -1,0 +1,198 @@
+"""Cross-module property tests (hypothesis).
+
+Heavier invariants that tie subsystems together, run over randomized
+inputs: probability conservation, accounting conservation, monotonicity of
+the hardware cost models, and walk-path legality on arbitrary graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fpga.burst import BurstStrategy, plan_bursts
+from repro.fpga.cache import simulate_degree_aware
+from repro.fpga.wrs_sampler import WRSSamplerModel
+from repro.graph.builders import from_edge_list
+from repro.graph.labels import assign_random_weights
+from repro.walks.base import quantize_weights
+from repro.walks.node2vec import Node2VecWalk
+from repro.walks.static import StaticWalk
+from repro.walks.stepper import PWRSSampler, run_walks
+from repro.walks.uniform import UniformWalk
+from repro.walks.validation import exact_step_distribution
+
+
+def _random_graph(draw_edges: list[tuple[int, int]], n: int):
+    array = (
+        np.asarray(draw_edges, dtype=np.int64)
+        if draw_edges
+        else np.zeros((0, 2), dtype=np.int64)
+    )
+    return from_edge_list(array, num_vertices=n, deduplicate=True)
+
+
+edges_strategy = st.lists(
+    st.tuples(st.integers(0, 19), st.integers(0, 19)), min_size=1, max_size=80
+)
+
+
+class TestProbabilityConservation:
+    @given(edges=edges_strategy, vertex=st.integers(0, 19))
+    @settings(max_examples=80, deadline=None)
+    def test_exact_distribution_sums_to_one_or_zero(self, edges, vertex):
+        graph = _random_graph(edges, 20)
+        for algorithm in (UniformWalk(), Node2VecWalk(2.0, 0.5)):
+            dist = exact_step_distribution(graph, algorithm, vertex)
+            total = dist.sum()
+            assert total == pytest.approx(1.0, abs=1e-9) or total == 0.0
+            assert (dist >= 0).all()
+
+    @given(edges=edges_strategy, vertex=st.integers(0, 19), seed=st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_distribution_proportional(self, edges, vertex, seed):
+        graph = assign_random_weights(_random_graph(edges, 20), seed=seed)
+        dist = exact_step_distribution(graph, StaticWalk(), vertex)
+        if dist.sum() == 0:
+            return
+        weights = graph.neighbor_weights(vertex).astype(np.float64)
+        neighbors = graph.neighbors(vertex)
+        for idx, v in enumerate(neighbors.tolist()):
+            # Multi-edges were deduplicated, so each neighbor appears once.
+            assert dist[v] == pytest.approx(weights[idx] / weights.sum())
+
+
+class TestQuantization:
+    @given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_order_preserved_up_to_half_ulp(self, values):
+        weights = np.asarray(values)
+        quantized = quantize_weights(weights)
+        # Strictly larger weights never quantize strictly smaller by more
+        # than the clamping of tiny positives to one.
+        order = np.argsort(weights)
+        sorted_quantized = quantized[order].astype(np.int64)
+        assert (np.diff(sorted_quantized) >= -1).all()
+
+    @given(st.lists(st.floats(0.0, 1000.0), min_size=1, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_zero_iff_zero(self, values):
+        weights = np.asarray(values)
+        quantized = quantize_weights(weights)
+        np.testing.assert_array_equal(quantized == 0, weights == 0.0)
+
+
+class TestBurstInvariants:
+    """Interface cycles are *not* monotone in request size (a request just
+    below a long-burst boundary can cost more than one just above it —
+    the same effect that makes b1+b2 lose to short-only), so the testable
+    invariants are the bounds, not monotonicity."""
+
+    @given(
+        sizes=st.lists(st.integers(0, 50_000), min_size=1, max_size=40),
+        long_beats=st.sampled_from([4, 8, 16, 32]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_dynamic_never_worse_than_short_only(self, sizes, long_beats):
+        """With long bursts of >= 4 beats, the dynamic plan's cycles are
+        bounded by the short-only plan's (the engine's raison d'etre)."""
+        from repro.fpga.burst import SHORT_ONLY
+
+        requests = np.asarray(sizes)
+        dynamic = plan_bursts(requests, BurstStrategy(1, long_beats))
+        short_only = plan_bursts(requests, SHORT_ONLY)
+        assert (
+            dynamic.interface_cycles <= short_only.interface_cycles + 1e-9
+        ).all()
+
+    @given(
+        sizes=st.lists(st.integers(0, 50_000), min_size=2, max_size=40),
+        long_beats=st.sampled_from([4, 8, 16, 32]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_loaded_bytes_monotone(self, sizes, long_beats):
+        ordered = np.sort(np.asarray(sizes))
+        plan = plan_bursts(ordered, BurstStrategy(1, long_beats))
+        assert (np.diff(plan.loaded_bytes) >= 0).all()
+
+
+class TestSamplerModel:
+    @given(n=st.integers(0, 10_000), k=st.sampled_from([1, 2, 4, 8, 16]))
+    @settings(max_examples=100, deadline=None)
+    def test_cycles_formula(self, n, k):
+        model = WRSSamplerModel(k=k)
+        stream = int(model.stream_cycles(n))
+        occupancy = int(model.occupancy_cycles(n))
+        if n == 0:
+            assert stream == occupancy == 0
+        else:
+            assert stream == -(-n // k) + model.fill_cycles
+            assert occupancy == -(-n // k) + model.STREAM_BUBBLE_CYCLES
+
+
+class TestWalkLegality:
+    @given(
+        edges=edges_strategy,
+        seed=st.integers(0, 10_000),
+        k=st.sampled_from([1, 4, 16]),
+        steps=st.integers(0, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_walks_traverse_only_edges(self, edges, seed, k, steps):
+        graph = _random_graph(edges, 20)
+        starts = graph.nonzero_degree_vertices()
+        if starts.size == 0:
+            return
+        session = run_walks(
+            graph, starts[:8], steps, UniformWalk(), PWRSSampler(k, seed)
+        )
+        assert session.total_steps <= steps * min(8, starts.size)
+        for q in range(min(8, starts.size)):
+            path = session.path(q)
+            for u, v in zip(path[:-1], path[1:]):
+                assert graph.has_edge(int(u), int(v))
+
+    @given(edges=edges_strategy, seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_trace_accounting_conserved(self, edges, seed):
+        """Candidate edges in the trace equal the degrees of visited
+        vertices — the quantity every cost model charges."""
+        graph = _random_graph(edges, 20)
+        starts = graph.nonzero_degree_vertices()
+        if starts.size == 0:
+            return
+        session = run_walks(
+            graph, starts[:6], 5, UniformWalk(), PWRSSampler(8, seed)
+        )
+        for record in session.records:
+            np.testing.assert_array_equal(
+                record.degrees, graph.degrees[record.curr]
+            )
+
+
+class TestCacheInvariants:
+    @given(
+        seed=st.integers(0, 10_000),
+        capacity_log=st.integers(1, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_second_visit_of_max_degree_vertex_hits(self, seed, capacity_log):
+        """The highest-degree vertex of a set, once seen, never misses."""
+        rng = np.random.default_rng(seed)
+        capacity = 1 << capacity_log
+        n = 4 * capacity
+        degrees = rng.integers(1, 100, size=n)
+        trace = rng.integers(0, n, size=300)
+        hits = simulate_degree_aware(trace, degrees, capacity)
+        # Identify, per set, the first-seen max-degree vertex; all its
+        # subsequent accesses must hit.
+        best: dict[int, int] = {}
+        for position, vertex in enumerate(trace.tolist()):
+            set_index = vertex & (capacity - 1)
+            incumbent = best.get(set_index)
+            if incumbent is None or degrees[vertex] > degrees[incumbent]:
+                best[set_index] = vertex
+            elif vertex == incumbent:
+                assert hits[position], (position, vertex)

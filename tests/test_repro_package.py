@@ -1,0 +1,64 @@
+"""Top-level package surface: exports, version, and the README quickstart."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.apps
+        import repro.fpga
+        import repro.graph
+        import repro.sampling
+        import repro.walks
+
+        for module in (repro.apps, repro.fpga, repro.graph, repro.sampling, repro.walks):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_readme_quickstart_snippet(self):
+        """The README's quickstart code runs verbatim (small scale)."""
+        from repro import LightRW, Node2VecWalk, load_dataset
+
+        graph = load_dataset("livejournal", scale_divisor=2048)
+        engine = LightRW(graph, hardware_scale=2048)
+        result = engine.run(
+            Node2VecWalk(p=2, q=0.5), n_steps=10, max_sampled_queries=64
+        )
+        assert result.paths.shape[1] == 11
+        assert result.steps_per_second > 0
+        assert 0 <= result.pcie_fraction < 1
+
+    def test_readme_comparison_snippet(self):
+        from repro import MetaPathWalk, compare_engines, load_dataset
+
+        graph = load_dataset("livejournal", scale_divisor=2048)
+        report = compare_engines(
+            graph, MetaPathWalk([0, 1, 2, 3]), n_steps=5, hardware_scale=2048,
+            max_sampled_queries=64,
+        )
+        assert report.speedup > 0
+        assert report.power_efficiency_improvement() > 0
+
+    def test_module_docstring_doctest(self):
+        """The package docstring example is true as written."""
+        from repro import LightRW, Node2VecWalk, load_dataset
+
+        graph = load_dataset("livejournal", scale_divisor=2048)
+        engine = LightRW(graph, hardware_scale=2048)
+        result = engine.run(
+            Node2VecWalk(p=2, q=0.5), n_steps=8, max_sampled_queries=32
+        )
+        # The docstring asserts paths rows == executed queries.
+        assert result.paths.shape[0] == min(32, result.num_queries)

@@ -1,0 +1,104 @@
+"""Sequential weighted reservoir sampling: exactness and distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.sampling.reservoir import (
+    reservoir_sample,
+    reservoir_sample_many,
+    reservoir_sample_stream,
+)
+from repro.sampling.rng import ThundeRingRNG
+
+
+class TestStreamForm:
+    def test_single_item_always_selected(self):
+        assert reservoir_sample_stream([(5.0, 0.99)]) == 0
+
+    def test_zero_weights_return_minus_one(self):
+        assert reservoir_sample_stream([(0.0, 0.1), (0.0, 0.2)]) == -1
+
+    def test_zero_weight_items_never_selected(self):
+        # Only index 1 has weight.
+        for r in (0.0, 0.3, 0.9):
+            assert reservoir_sample_stream([(0.0, r), (2.0, r), (0.0, r)]) == 1
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            reservoir_sample_stream([(-1.0, 0.5)])
+
+    def test_acceptance_rule(self):
+        # Second item has p = 2/3; accepted iff r < 2/3.
+        assert reservoir_sample_stream([(1.0, 0.0), (2.0, 0.5)]) == 1
+        assert reservoir_sample_stream([(1.0, 0.0), (2.0, 0.7)]) == 0
+
+
+class TestVectorizedForm:
+    def test_matches_stream_form(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            n = int(rng.integers(1, 30))
+            weights = rng.random(n) * (rng.random(n) > 0.2)
+            uniforms = rng.random(n)
+            expected = reservoir_sample_stream(zip(weights, uniforms))
+            assert reservoir_sample(weights, uniforms) == expected
+
+    def test_empty(self):
+        assert reservoir_sample(np.array([]), np.array([])) == -1
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            reservoir_sample(np.ones(3), np.ones(4))
+
+    def test_negative_weights(self):
+        with pytest.raises(ValueError):
+            reservoir_sample(np.array([-1.0]), np.array([0.5]))
+
+    @given(
+        weights=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=50),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_selected_item_has_positive_weight(self, weights, seed):
+        weights = np.asarray(weights)
+        uniforms = np.random.default_rng(seed).random(weights.size)
+        picked = reservoir_sample(weights, uniforms)
+        if weights.sum() == 0:
+            assert picked == -1
+        elif picked >= 0:
+            assert weights[picked] > 0
+
+
+class TestDistribution:
+    def test_matches_weights_chi_square(self):
+        """P(select i) == w_i / sum(w) — the defining WRS property."""
+        weights = np.array([1.0, 2.0, 3.0, 4.0, 10.0])
+        rng = ThundeRingRNG(weights.size, seed=77)
+
+        def uniforms():
+            while True:
+                yield rng.next_uniform()
+
+        draws = reservoir_sample_many(weights, uniforms(), 40_000)
+        counts = np.bincount(draws, minlength=weights.size)
+        expected = weights / weights.sum() * draws.size
+        __, p_value = stats.chisquare(counts, expected)
+        assert p_value > 1e-4
+
+    def test_uniform_weights_uniform_selection(self):
+        weights = np.ones(8)
+        rng = ThundeRingRNG(8, seed=5)
+
+        def uniforms():
+            while True:
+                yield rng.next_uniform()
+
+        draws = reservoir_sample_many(weights, uniforms(), 24_000)
+        counts = np.bincount(draws, minlength=8)
+        __, p_value = stats.chisquare(counts)
+        assert p_value > 1e-4

@@ -1,0 +1,70 @@
+"""Roofline analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga.config import LightRWConfig
+from repro.fpga.perfmodel import FPGAPerfModel
+from repro.fpga.roofline import RooflinePoint, ridge_point, roofline_point
+from repro.walks.stepper import PWRSSampler, run_walks
+from repro.walks.uniform import UniformWalk
+
+
+class TestRidgePoint:
+    def test_k16_ridge(self):
+        config = LightRWConfig()
+        # 16 items/cycle * 300 MHz over 17.57 GB/s: ~0.27 items/B.
+        assert ridge_point(config) == pytest.approx(
+            16 * 300e6 / (17.57e9), rel=1e-6
+        )
+
+    def test_instances_cancel(self):
+        assert ridge_point(LightRWConfig(n_instances=1)) == pytest.approx(
+            ridge_point(LightRWConfig(n_instances=4))
+        )
+
+
+class TestRooflinePoint:
+    @pytest.fixture
+    def breakdown(self, labeled_graph):
+        starts = labeled_graph.nonzero_degree_vertices()[:64]
+        session = run_walks(labeled_graph, starts, 10, UniformWalk(), PWRSSampler(16, 3))
+        items = sum(int(r.degrees.sum()) for r in session.records)
+        model = FPGAPerfModel(LightRWConfig(), UniformWalk())
+        return model.evaluate(session, record_latency=False), items
+
+    def test_gdrw_is_memory_bound(self, breakdown):
+        result, items = breakdown
+        point = roofline_point("uniform", result, items)
+        # One 4-byte record per item caps intensity at 0.25 < ridge 0.273.
+        assert point.intensity_items_per_byte <= 0.25 + 1e-9
+        assert point.bound == "memory"
+        assert 0 < point.efficiency <= 1.05
+
+    def test_achieved_below_roof(self, breakdown):
+        result, items = breakdown
+        point = roofline_point("uniform", result, items)
+        assert point.achieved_items_per_s <= point.roof_at_intensity * 1.05
+
+    def test_invalid_items(self, breakdown):
+        result, __ = breakdown
+        with pytest.raises(ValueError):
+            roofline_point("x", result, 0)
+
+    def test_synthetic_compute_bound_point(self):
+        point = RooflinePoint(
+            label="dense-kernel",
+            intensity_items_per_byte=10.0,
+            achieved_items_per_s=1e9,
+            compute_roof=2e9,
+            memory_roof_at_intensity=10.0 * 17.57e9,
+        )
+        assert point.bound == "compute"
+        assert point.roof_at_intensity == 2e9
+
+    def test_row_format(self, breakdown):
+        result, items = breakdown
+        row = roofline_point("uniform", result, items).as_row()
+        assert row["bound"] == "memory"
+        assert row["efficiency"].endswith("%")

@@ -1,0 +1,102 @@
+"""Section 5.1's analysis: visit probability correlates with degree.
+
+The degree-aware cache rests on Pr[v] being proportional to v's (weighted)
+degree under the stationary distribution of random walks.  These tests
+verify the claim empirically with the library's own walkers and exactly
+with the spectral stationary distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import chung_lu_graph
+from repro.graph.labels import assign_random_weights
+from repro.walks import PWRSSampler, StaticWalk, UniformWalk, run_walks
+from repro.walks.ppr import visit_frequencies
+
+
+@pytest.fixture(scope="module")
+def connected_graph():
+    """A power-law graph restricted to its largest component."""
+    import networkx as nx
+
+    from repro.graph.builders import from_edge_list
+
+    graph = chung_lu_graph(300, avg_degree=8.0, seed=11, directed=False)
+    nx_graph = graph.to_networkx().to_undirected()
+    component = max(nx.connected_components(nx_graph), key=len)
+    keep = sorted(component)
+    relabel = {old: new for new, old in enumerate(keep)}
+    edges = [
+        (relabel[u], relabel[v])
+        for u, v in nx_graph.edges()
+        if u in component and v in component
+    ]
+    return from_edge_list(
+        np.array(edges), num_vertices=len(keep), directed=False, name="component"
+    )
+
+
+def _stationary_exact(graph, weighted: bool) -> np.ndarray:
+    """Exact stationary distribution: pi(v) ~ sum of v's edge weights."""
+    if weighted and graph.edge_weights is not None:
+        mass = np.zeros(graph.num_vertices)
+        sources = np.repeat(np.arange(graph.num_vertices), graph.degrees)
+        np.add.at(mass, sources, graph.edge_weights.astype(np.float64))
+    else:
+        mass = graph.degrees.astype(np.float64)
+    return mass / mass.sum()
+
+
+class TestStationaryDistribution:
+    def test_unweighted_walks_converge_to_degree_distribution(self, connected_graph):
+        """Equation (9) with unit weights: Pr[v] = deg(v) / 2|E|."""
+        graph = connected_graph
+        starts = np.tile(graph.nonzero_degree_vertices(), 3)
+        session = run_walks(graph, starts, 60, UniformWalk(), PWRSSampler(16, 5))
+        # Discard the burn-in: count only the tail of each walk.
+        tail = session.paths[:, 20:]
+        empirical = visit_frequencies(tail, graph.num_vertices)
+        exact = _stationary_exact(graph, weighted=False)
+        assert np.corrcoef(empirical, exact)[0, 1] > 0.99
+
+    def test_weighted_walks_follow_weighted_degree(self, connected_graph):
+        """Equation (9) in full: Pr[v] ~ sum of v's incident weights."""
+        graph = assign_random_weights(connected_graph, low=0.5, high=8.0, seed=6)
+        starts = np.tile(graph.nonzero_degree_vertices(), 3)
+        session = run_walks(graph, starts, 60, StaticWalk(), PWRSSampler(16, 7))
+        tail = session.paths[:, 20:]
+        empirical = visit_frequencies(tail, graph.num_vertices)
+        exact = _stationary_exact(graph, weighted=True)
+        assert np.corrcoef(empirical, exact)[0, 1] > 0.98
+
+    def test_degree_is_admissible_cache_heuristic(self, connected_graph):
+        """The DAC design claim: ranking vertices by degree ranks them by
+        visit probability (rank correlation on the hot set)."""
+        from scipy import stats
+
+        graph = connected_graph
+        starts = np.tile(graph.nonzero_degree_vertices(), 3)
+        session = run_walks(graph, starts, 60, UniformWalk(), PWRSSampler(16, 9))
+        empirical = visit_frequencies(session.paths[:, 20:], graph.num_vertices)
+        hot = np.argsort(graph.degrees)[::-1][: graph.num_vertices // 4]
+        rho, __ = stats.spearmanr(graph.degrees[hot], empirical[hot])
+        assert rho > 0.6
+
+    def test_spectral_agreement(self, connected_graph):
+        """The degree distribution IS the leading eigenvector (sanity via
+        power iteration on the transition matrix)."""
+        graph = connected_graph
+        n = graph.num_vertices
+        pi = np.full(n, 1.0 / n)
+        sources = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+        inv_degree = 1.0 / np.maximum(graph.degrees, 1)
+        for __ in range(200):
+            flow = pi[sources] * inv_degree[sources]
+            nxt = np.zeros(n)
+            np.add.at(nxt, graph.col_index.astype(np.int64), flow)
+            pi = nxt / nxt.sum()
+        exact = _stationary_exact(graph, weighted=False)
+        assert np.abs(pi - exact).max() < 1e-6

@@ -1,0 +1,86 @@
+"""Randomness test battery: calibration and discrimination."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sampling.rng import ThundeRingRNG
+from repro.sampling.stattests import (
+    birthday_spacings_test,
+    cross_lane_correlation_test,
+    frequency_test,
+    gap_test,
+    run_battery,
+    runs_test,
+    serial_pair_test,
+)
+
+
+@pytest.fixture(scope="module")
+def good_block():
+    return ThundeRingRNG(4, seed=17).uint32_block(40_000)
+
+
+class TestIndividualTests:
+    def test_frequency_passes_good(self, good_block):
+        bits = np.unpackbits(np.ascontiguousarray(good_block[:, 0]).view(np.uint8))
+        assert frequency_test(bits) > 1e-4
+
+    def test_frequency_fails_biased(self):
+        bits = np.zeros(10_000, dtype=np.uint8)
+        bits[: 4_000] = 1  # 40% ones
+        assert frequency_test(bits) < 1e-6
+
+    def test_serial_pair_fails_on_counter(self):
+        counter = np.arange(40_000, dtype=np.uint32) << np.uint32(16)
+        assert serial_pair_test(counter) < 1e-6
+
+    def test_gap_passes_good(self, good_block):
+        uniforms = good_block[:, 1].astype(np.float64) / 2**32
+        assert gap_test(uniforms) > 1e-4
+
+    def test_runs_fails_on_alternating(self):
+        alternating = np.tile([0.1, 0.9], 5_000)
+        assert runs_test(np.asarray(alternating)) < 1e-6
+
+    def test_runs_degenerate(self):
+        assert runs_test(np.full(100, 0.5)) == 0.0
+
+    def test_birthday_passes_good(self, good_block):
+        assert birthday_spacings_test(good_block[:, 2]) > 1e-5
+
+    def test_birthday_fails_on_low_entropy(self):
+        # Only 256 distinct values: spacings collide constantly.
+        rng = np.random.default_rng(0)
+        coarse = (rng.integers(0, 256, 40_000).astype(np.uint32)) << np.uint32(24)
+        assert birthday_spacings_test(coarse) < 1e-6
+
+    def test_birthday_short_input(self):
+        assert birthday_spacings_test(np.arange(10, dtype=np.uint32)) == 1.0
+
+    def test_cross_lane_passes_independent(self, good_block):
+        assert cross_lane_correlation_test(good_block) > 1e-4
+
+    def test_cross_lane_fails_on_copies(self):
+        rng = np.random.default_rng(1)
+        lane = rng.integers(0, 2**32, 5_000, dtype=np.uint64).astype(np.uint32)
+        block = np.stack([lane, lane], axis=1)
+        assert cross_lane_correlation_test(block) < 1e-6
+
+
+class TestBattery:
+    @pytest.mark.parametrize("seed", [17, 99, 12345])
+    def test_generator_passes(self, seed):
+        result = run_battery(ThundeRingRNG(8, seed=seed), n_samples=40_000)
+        assert result.passed, result.summary()
+
+    def test_summary_format(self):
+        result = run_battery(ThundeRingRNG(2, seed=5), n_samples=20_000)
+        text = result.summary()
+        assert "frequency" in text
+        assert "battery:" in text
+
+    def test_single_lane_skips_cross_test(self):
+        result = run_battery(ThundeRingRNG(1, seed=3), n_samples=20_000)
+        assert "cross_lane_correlation" not in result.p_values

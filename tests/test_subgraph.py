@@ -1,0 +1,98 @@
+"""Induced subgraphs and component extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builders import from_edge_list
+from repro.graph.generators import chung_lu_graph, cycle_graph
+from repro.graph.subgraph import induced_subgraph, largest_component_subgraph
+
+
+class TestInducedSubgraph:
+    def test_edges_preserved_within(self, tiny_graph):
+        result = induced_subgraph(tiny_graph, np.array([0, 1, 2]))
+        sub = result.graph
+        assert sub.num_vertices == 3
+        # Surviving edges: 0->1, 0->2, 1->2, 2->0 (3 involving vertex 3 cut).
+        assert sub.num_edges == 4
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(2, 0)
+        assert not sub.has_edge(1, 0)
+
+    def test_attributes_carried(self, labeled_graph):
+        keep = labeled_graph.nonzero_degree_vertices()[:50]
+        result = induced_subgraph(labeled_graph, keep)
+        sub = result.graph
+        np.testing.assert_array_equal(
+            sub.vertex_labels, labeled_graph.vertex_labels[result.new_to_old]
+        )
+        # Spot-check an edge weight follows its edge.
+        v = next(v for v in range(sub.num_vertices) if sub.degree(v) > 0)
+        w = int(sub.neighbors(v)[0])
+        original_v = int(result.new_to_old[v])
+        original_w = int(result.new_to_old[w])
+        start, __ = labeled_graph.neighbor_slice(original_v)
+        position = start + int(
+            np.searchsorted(labeled_graph.neighbors(original_v), original_w)
+        )
+        assert sub.neighbor_weights(v)[0] == labeled_graph.edge_weights[position]
+
+    def test_translate_back(self, tiny_graph):
+        result = induced_subgraph(tiny_graph, np.array([1, 3]))
+        np.testing.assert_array_equal(
+            result.translate_back(np.array([0, 1, -1])), [1, 3, -1]
+        )
+
+    def test_mapping_consistency(self, tiny_graph):
+        result = induced_subgraph(tiny_graph, np.array([0, 2, 4]))
+        for new_id, old_id in enumerate(result.new_to_old.tolist()):
+            assert result.old_to_new[old_id] == new_id
+
+    def test_col_index_stays_sorted(self, labeled_graph):
+        keep = labeled_graph.nonzero_degree_vertices()[::2]
+        result = induced_subgraph(labeled_graph, keep)
+        assert result.graph.neighbors_sorted()
+
+    def test_invalid_inputs(self, tiny_graph):
+        with pytest.raises(GraphFormatError):
+            induced_subgraph(tiny_graph, np.array([], dtype=np.int64))
+        with pytest.raises(GraphFormatError):
+            induced_subgraph(tiny_graph, np.array([99]))
+
+
+class TestLargestComponent:
+    def test_two_components(self):
+        # Two triangles, one bigger blob.
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (5, 6), (6, 7)]
+        graph = from_edge_list(np.array(edges), num_vertices=8, directed=False)
+        result = largest_component_subgraph(graph)
+        assert result.graph.num_vertices == 5
+        np.testing.assert_array_equal(result.new_to_old, [3, 4, 5, 6, 7])
+
+    def test_connected_graph_identity(self):
+        graph = cycle_graph(10)
+        result = largest_component_subgraph(graph)
+        assert result.graph.num_vertices == 10
+        np.testing.assert_array_equal(result.new_to_old, np.arange(10))
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        graph = chung_lu_graph(200, avg_degree=3.0, seed=9, directed=False)
+        result = largest_component_subgraph(graph)
+        nx_graph = graph.to_networkx().to_undirected()
+        expected = max(nx.connected_components(nx_graph), key=len)
+        assert result.graph.num_vertices == len(expected)
+        assert set(result.new_to_old.tolist()) == expected
+
+    def test_walks_run_on_component(self):
+        from repro.walks import PWRSSampler, UniformWalk, run_walks
+
+        graph = chung_lu_graph(200, avg_degree=3.0, seed=9, directed=False)
+        result = largest_component_subgraph(graph)
+        starts = result.graph.nonzero_degree_vertices()[:20]
+        session = run_walks(result.graph, starts, 10, UniformWalk(), PWRSSampler(8, 1))
+        assert session.total_steps > 0

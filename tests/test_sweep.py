@@ -1,0 +1,91 @@
+"""Design-space exploration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fpga.sweep import (
+    DesignPoint,
+    DesignSpaceExplorer,
+    default_grid,
+    sweep_design_space,
+)
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.uniform import UniformWalk
+
+
+@pytest.fixture(scope="module")
+def swept(request):
+    import numpy as np
+    from repro.graph.generators import chung_lu_graph
+
+    graph = chung_lu_graph(256, avg_degree=8.0, seed=5, directed=False)
+    starts = graph.nonzero_degree_vertices()[:64]
+    grid = {"k": [4, 16], "long_beats": [0, 32], "cache_bits": [8], "n_instances": [1, 4]}
+    points, frontier = sweep_design_space(
+        graph, UniformWalk(), "uniform", 5, starts, grid=grid, hardware_scale=64
+    )
+    return points, frontier, grid
+
+
+class TestSweep:
+    def test_grid_size(self, swept):
+        points, __, grid = swept
+        expected = (
+            len(grid["k"]) * len(grid["long_beats"]) * len(grid["cache_bits"])
+            * len(grid["n_instances"])
+        )
+        assert len(points) == expected
+
+    def test_frontier_subset_and_nondominated(self, swept):
+        points, frontier, __ = swept
+        assert frontier
+        assert set(p.label for p in frontier) <= set(p.label for p in points)
+        for a in frontier:
+            for b in frontier:
+                if a is b:
+                    continue
+                dominates = (
+                    b.steps_per_second >= a.steps_per_second
+                    and b.peak_utilization <= a.peak_utilization
+                    and (
+                        b.steps_per_second > a.steps_per_second
+                        or b.peak_utilization < a.peak_utilization
+                    )
+                )
+                assert not dominates, (a.label, b.label)
+
+    def test_frontier_sorted_by_utilization(self, swept):
+        __, frontier, __ = swept
+        utilizations = [p.peak_utilization for p in frontier]
+        assert utilizations == sorted(utilizations)
+
+    def test_point_rows(self, swept):
+        points, __, __ = swept
+        row = points[0].as_row()
+        assert "config" in row and "steps_per_s" in row
+
+    def test_missing_session_rejected(self):
+        explorer = DesignSpaceExplorer(MetaPathWalk([0, 1]), "metapath")
+        with pytest.raises(ConfigError):
+            explorer.evaluate({}, default_grid())
+
+    def test_default_grid_contains_paper_point(self):
+        grid = default_grid()
+        assert 16 in grid["k"]
+        assert 32 in grid["long_beats"]
+        assert 12 in grid["cache_bits"]
+        assert 4 in grid["n_instances"]
+
+    def test_pareto_ignores_oversized(self):
+        big = DesignPoint(
+            config=None, steps_per_second=1e9, bottleneck="memory",
+            peak_utilization=1.5, fits=False,
+        )
+        small = DesignPoint(
+            config=None, steps_per_second=1e6, bottleneck="memory",
+            peak_utilization=0.2, fits=True,
+        )
+        frontier = DesignSpaceExplorer.pareto_frontier([big, small])
+        assert frontier == [small]

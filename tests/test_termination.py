@@ -1,0 +1,129 @@
+"""Query termination conditions (Algorithm 2.1's Q.is_end())."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.generators import cycle_graph, path_graph
+from repro.graph.labels import assign_vertex_labels
+from repro.walks.stepper import PWRSSampler, run_walks
+from repro.walks.termination import (
+    FixedLength,
+    TargetLabel,
+    TargetVertex,
+    apply_termination,
+)
+from repro.walks.uniform import UniformWalk
+
+
+@pytest.fixture
+def cycle_session():
+    graph = cycle_graph(8)
+    starts = np.zeros(4, dtype=np.int64)
+    return run_walks(graph, starts, 10, UniformWalk(), PWRSSampler(4, 0))
+
+
+class TestFixedLength:
+    def test_truncates(self, cycle_session):
+        truncated = apply_termination(cycle_session, FixedLength(3))
+        assert (truncated.lengths == 3).all()
+        np.testing.assert_array_equal(truncated.path(0), [0, 1, 2, 3])
+        assert (truncated.paths[:, 4:] == -1).all()
+
+    def test_longer_than_walk_is_noop(self, cycle_session):
+        truncated = apply_termination(cycle_session, FixedLength(99))
+        np.testing.assert_array_equal(truncated.paths, cycle_session.paths)
+
+    def test_zero(self, cycle_session):
+        truncated = apply_termination(cycle_session, FixedLength(0))
+        assert (truncated.lengths == 0).all()
+        assert (truncated.paths[:, 1:] == -1).all()
+
+    def test_negative_rejected(self):
+        with pytest.raises(QueryError):
+            FixedLength(-1)
+
+    def test_describe(self):
+        assert "5" in FixedLength(5).describe()
+
+
+class TestTargetVertex:
+    def test_stops_at_first_hit(self, cycle_session):
+        # The deterministic cycle walk 0->1->...: vertex 3 is hit at step 3.
+        truncated = apply_termination(cycle_session, TargetVertex((3,)))
+        assert (truncated.lengths == 3).all()
+        assert (truncated.paths[:, 3] == 3).all()
+
+    def test_start_on_target_still_walks(self):
+        graph = cycle_graph(4)
+        session = run_walks(
+            graph, np.zeros(2, dtype=np.int64), 6, UniformWalk(), PWRSSampler(4, 0)
+        )
+        truncated = apply_termination(session, TargetVertex((0,)))
+        # The walk returns to 0 after 4 steps on a 4-cycle.
+        assert (truncated.lengths == 4).all()
+
+    def test_unreached_target_keeps_full_walk(self, cycle_session):
+        graph_vertices = cycle_session.graph.num_vertices
+        truncated = apply_termination(
+            cycle_session, TargetVertex((graph_vertices - 1,))
+        )
+        # Deterministic cycle reaches 7 at step 7.
+        assert (truncated.lengths == 7).all()
+
+    def test_multiple_targets_earliest_wins(self, cycle_session):
+        truncated = apply_termination(cycle_session, TargetVertex((5, 2)))
+        assert (truncated.lengths == 2).all()
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(QueryError):
+            TargetVertex(())
+
+
+class TestTargetLabel:
+    def test_stops_at_label(self):
+        graph = assign_vertex_labels(cycle_graph(8), n_labels=2, seed=3)
+        session = run_walks(
+            graph, np.zeros(3, dtype=np.int64), 8, UniformWalk(), PWRSSampler(4, 1)
+        )
+        label = int(graph.vertex_labels[2])
+        truncated = apply_termination(session, TargetLabel(label))
+        for q in range(3):
+            path = truncated.path(q)
+            if truncated.lengths[q] < session.lengths[q]:
+                assert graph.vertex_labels[path[-1]] == label
+            # No earlier interior vertex carries the label.
+            for vertex in path[1:-1]:
+                assert graph.vertex_labels[vertex] != label
+
+    def test_requires_labels(self, cycle_session):
+        with pytest.raises(QueryError):
+            apply_termination(cycle_session, TargetLabel(0))
+
+    def test_absent_label_is_noop(self):
+        graph = assign_vertex_labels(path_graph(5), n_labels=2, seed=1)
+        session = run_walks(
+            graph, np.zeros(2, dtype=np.int64), 4, UniformWalk(), PWRSSampler(4, 0)
+        )
+        truncated = apply_termination(session, TargetLabel(99))
+        np.testing.assert_array_equal(truncated.lengths, session.lengths)
+
+
+class TestSessionIntegrity:
+    def test_records_preserved(self, cycle_session):
+        truncated = apply_termination(cycle_session, FixedLength(2))
+        assert truncated.records is cycle_session.records
+
+    def test_original_untouched(self, cycle_session):
+        before = cycle_session.paths.copy()
+        apply_termination(cycle_session, FixedLength(1))
+        np.testing.assert_array_equal(cycle_session.paths, before)
+
+    def test_padding_consistent(self, cycle_session):
+        truncated = apply_termination(cycle_session, FixedLength(4))
+        for q in range(truncated.num_queries):
+            length = truncated.lengths[q]
+            assert (truncated.paths[q, : length + 1] >= 0).all()
+            assert (truncated.paths[q, length + 1 :] == -1).all()

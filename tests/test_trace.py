@@ -1,0 +1,119 @@
+"""Pipeline event tracing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fpga.accelerator import LightRWAcceleratorSim
+from repro.fpga.config import LightRWConfig
+from repro.fpga.sim.trace import PipelineTracer, TraceEvent
+from repro.walks.uniform import UniformWalk
+
+
+class TestPipelineTracer:
+    def test_record_and_read(self):
+        tracer = PipelineTracer()
+        tracer.record(5, "m", "evt", qid=1)
+        tracer.record(7, "m", "evt", qid=2)
+        events = tracer.events()
+        assert len(events) == 2
+        assert events[0].cycle == 5
+        assert events[1].info["qid"] == 2
+
+    def test_ring_buffer_keeps_latest(self):
+        tracer = PipelineTracer(max_events=3)
+        for i in range(10):
+            tracer.record(i, "m", "evt")
+        assert len(tracer) == 3
+        assert [e.cycle for e in tracer.events()] == [7, 8, 9]
+        assert tracer.total_recorded == 10
+
+    def test_filters(self):
+        tracer = PipelineTracer()
+        tracer.record(1, "a", "x", qid=1)
+        tracer.record(2, "b", "x", qid=2)
+        tracer.record(3, "a", "y", qid=1)
+        assert len(tracer.filter(module="a")) == 2
+        assert len(tracer.filter(event="x")) == 2
+        assert len(tracer.filter(qid=1)) == 2
+        assert len(tracer.filter(module="a", event="x", qid=1)) == 1
+
+    def test_counts_and_text(self):
+        tracer = PipelineTracer()
+        tracer.record(1, "m", "x")
+        tracer.record(2, "m", "x")
+        tracer.record(3, "m", "y", foo=7)
+        assert tracer.counts() == {"x": 2, "y": 1}
+        text = tracer.to_text(last=1)
+        assert "foo=7" in text
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PipelineTracer(max_events=0)
+
+    def test_event_format(self):
+        event = TraceEvent(cycle=12, module="dram", event="grant", info={"beats": 4})
+        assert "dram" in event.format()
+        assert "beats=4" in event.format()
+
+
+class TestTracedSimulation:
+    @pytest.fixture
+    def traced_run(self, labeled_graph):
+        config = LightRWConfig(n_instances=2, max_inflight=8).scaled(64)
+        starts = labeled_graph.nonzero_degree_vertices()[:10]
+        sim = LightRWAcceleratorSim(labeled_graph, config, UniformWalk(), seed=6)
+        return sim.run(starts, 4, trace=True), starts
+
+    def test_trace_present_only_when_requested(self, labeled_graph):
+        config = LightRWConfig(n_instances=1, max_inflight=4).scaled(64)
+        starts = labeled_graph.nonzero_degree_vertices()[:4]
+        sim = LightRWAcceleratorSim(labeled_graph, config, UniformWalk(), seed=1)
+        assert sim.run(starts, 2).tracer is None
+        assert sim.run(starts, 2, trace=True).tracer is not None
+
+    def test_admissions_and_finishes_complete(self, traced_run):
+        result, starts = traced_run
+        tracer = result.tracer
+        counts = tracer.counts()
+        assert counts["query-admitted"] == starts.size
+        assert counts["query-finished"] == starts.size
+
+    def test_cache_events_match_stats(self, traced_run):
+        result, __ = traced_run
+        counts = result.tracer.counts()
+        hits = sum(s.cache_hits for s in result.instances)
+        misses = sum(s.cache_misses for s in result.instances)
+        assert counts.get("cache-hit", 0) == hits
+        assert counts.get("cache-miss", 0) == misses
+
+    def test_dram_grants_match_requests(self, traced_run):
+        result, __ = traced_run
+        grants = len(result.tracer.filter(event="dram-grant"))
+        assert grants == sum(s.dram_requests for s in result.instances)
+
+    def test_query_timeline_ordered_and_complete(self, traced_run):
+        result, starts = traced_run
+        timeline = result.tracer.query_timeline(0)
+        assert timeline[0].event == "query-admitted"
+        assert timeline[-1].event == "query-finished"
+        cycles = [e.cycle for e in timeline]
+        assert cycles == sorted(cycles)
+        # One sample + one retire per executed step.
+        samples = [e for e in timeline if e.event == "sample"]
+        retires = [e for e in timeline if e.event == "step-retired"]
+        assert len(samples) == len(retires)
+        # At least one sample per step actually walked (dead-end attempts
+        # add one more).
+        assert len(samples) >= len(result.paths[0]) - 1
+
+    def test_tracing_does_not_change_walks(self, labeled_graph):
+        config = LightRWConfig(n_instances=1, max_inflight=4).scaled(64)
+        starts = labeled_graph.nonzero_degree_vertices()[:6]
+        sim = LightRWAcceleratorSim(labeled_graph, config, UniformWalk(), seed=9)
+        plain = sim.run(starts, 4)
+        traced = sim.run(starts, 4, trace=True)
+        for q in range(6):
+            np.testing.assert_array_equal(plain.path(q), traced.path(q))
+        assert plain.cycles == traced.cycles

@@ -1,0 +1,84 @@
+"""Automated reproduction verdicts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.verdict import CHECKS, Verdict, score_reproduction, summary
+
+
+def _write(tmp_path, name, rows):
+    payload = {"name": name, "title": name, "paper_expectation": "", "rows": rows}
+    (tmp_path / f"{name}.json").write_text(json.dumps(payload))
+
+
+class TestChecks:
+    def test_fig6_passes_on_good_shape(self, tmp_path):
+        _write(tmp_path, "fig6", [
+            {"burst_length": 1, "bandwidth_gbps": 3.2, "valid_data_ratio": 0.9},
+            {"burst_length": 64, "bandwidth_gbps": 17.57, "valid_data_ratio": 0.1},
+        ])
+        verdict = next(v for v in score_reproduction(tmp_path) if v.experiment == "fig6")
+        assert verdict.passed
+
+    def test_fig6_fails_on_wrong_shape(self, tmp_path):
+        _write(tmp_path, "fig6", [
+            {"burst_length": 1, "bandwidth_gbps": 17.57, "valid_data_ratio": 0.1},
+            {"burst_length": 64, "bandwidth_gbps": 3.0, "valid_data_ratio": 0.9},
+        ])
+        verdict = next(v for v in score_reproduction(tmp_path) if v.experiment == "fig6")
+        assert not verdict.passed
+
+    def test_fig14_requires_youtube_smallest(self, tmp_path):
+        _write(tmp_path, "fig14", [
+            {"graph": "youtube", "app": "MetaPath", "speedup": 9.0},
+            {"graph": "uk2002", "app": "MetaPath", "speedup": 3.0},
+        ])
+        verdict = next(v for v in score_reproduction(tmp_path) if v.experiment == "fig14")
+        assert not verdict.passed
+
+    def test_missing_file_fails_gracefully(self, tmp_path):
+        verdicts = score_reproduction(tmp_path)
+        assert all(not v.passed for v in verdicts)
+        assert all("missing" in v.detail for v in verdicts)
+
+    def test_malformed_rows_fail_gracefully(self, tmp_path):
+        _write(tmp_path, "table5", [{"oops": 1}])
+        verdict = next(v for v in score_reproduction(tmp_path) if v.experiment == "table5")
+        assert not verdict.passed
+        assert "malformed" in verdict.detail
+
+
+class TestOnRealResults:
+    @pytest.fixture(scope="class")
+    def results_dir(self):
+        from pathlib import Path
+
+        directory = Path(__file__).resolve().parent.parent / "results"
+        if not (directory / "fig14.json").exists():
+            pytest.skip("full results not generated in this checkout")
+        return directory
+
+    def test_all_claims_reproduced(self, results_dir):
+        verdicts = score_reproduction(results_dir)
+        failed = [v for v in verdicts if not v.passed]
+        assert not failed, summary(verdicts)
+
+    def test_every_check_has_a_claim(self):
+        for name, (claim, check) in CHECKS.items():
+            assert claim
+            assert callable(check)
+
+
+class TestSummary:
+    def test_scoreboard_format(self):
+        verdicts = [
+            Verdict("fig6", "claim", True, "good"),
+            Verdict("fig14", "claim", False, "bad"),
+        ]
+        text = summary(verdicts)
+        assert "[PASS] fig6" in text
+        assert "[FAIL] fig14" in text
+        assert "reproduced 1/2" in text

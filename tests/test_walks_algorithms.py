@@ -1,0 +1,172 @@
+"""Walk algorithms: the weight-update functions of Equations (1) and (2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.graph.builders import from_edge_list
+from repro.graph.labels import assign_edge_labels, assign_vertex_labels
+from repro.walks.base import StepContext, WEIGHT_SCALE, quantize_weights
+from repro.walks.metapath import MetaPathWalk
+from repro.walks.node2vec import Node2VecWalk
+from repro.walks.static import StaticWalk
+from repro.walks.uniform import UniformWalk
+
+
+def _context_for(graph, vertex, prev=-1, step=0):
+    """Single-query StepContext over all of ``vertex``'s out-edges."""
+    begin, end = graph.neighbor_slice(vertex)
+    degree = end - begin
+    return StepContext(
+        graph=graph,
+        step=step,
+        curr=np.array([vertex]),
+        prev=np.array([prev]),
+        degrees=np.array([degree]),
+        seg_starts=np.array([0]),
+        edge_query=np.zeros(degree, dtype=np.int64),
+        dst=graph.col_index[begin:end].astype(np.int64),
+        static_weights=(
+            graph.edge_weights[begin:end].astype(np.float64)
+            if graph.edge_weights is not None
+            else np.ones(degree)
+        ),
+        edge_positions=np.arange(begin, end, dtype=np.int64),
+        edge_keys_sorted=graph.edge_keys(),
+    )
+
+
+class TestQuantize:
+    def test_zero_stays_zero(self):
+        np.testing.assert_array_equal(quantize_weights(np.array([0.0])), [0])
+
+    def test_positive_never_becomes_zero(self):
+        quantized = quantize_weights(np.array([1e-9]))
+        assert quantized[0] == 1
+
+    def test_scale(self):
+        np.testing.assert_array_equal(
+            quantize_weights(np.array([1.0, 2.5])), [WEIGHT_SCALE, int(2.5 * WEIGHT_SCALE)]
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_weights(np.array([-0.5]))
+
+
+class TestUniformAndStatic:
+    def test_uniform_all_ones(self, tiny_graph):
+        ctx = _context_for(tiny_graph, 0)
+        np.testing.assert_array_equal(UniformWalk().dynamic_weights(ctx), [1, 1, 1])
+
+    def test_static_returns_edge_weights(self, tiny_graph):
+        ctx = _context_for(tiny_graph, 0)
+        np.testing.assert_allclose(StaticWalk().dynamic_weights(ctx), [3, 1, 4])
+
+    def test_static_requires_weights(self):
+        graph = from_edge_list(np.array([[0, 1]]), num_vertices=2)
+        with pytest.raises(ValueError, match="static edge weights"):
+            StaticWalk().validate_graph(graph)
+
+
+class TestMetaPath:
+    def test_vertex_match_selects_by_label(self, tiny_graph):
+        # Labels: v0=0, v1=1, v2=0, v3=1, v4=0.
+        graph = tiny_graph
+        graph.vertex_labels = np.array([0, 1, 0, 1, 0], dtype=np.int16)
+        walk = MetaPathWalk([0, 1])  # step 0 requires label schema[1] = 1
+        ctx = _context_for(graph, 0, step=0)
+        # Neighbors 1 (label 1), 2 (label 0), 3 (label 1): weights w* or 0.
+        np.testing.assert_allclose(walk.dynamic_weights(ctx), [3.0, 0.0, 4.0])
+
+    def test_cyclic_schema(self, tiny_graph):
+        graph = tiny_graph
+        graph.vertex_labels = np.array([0, 1, 0, 1, 0], dtype=np.int16)
+        walk = MetaPathWalk([0, 1])
+        # Step 1 requires schema[(1+1) % 2] = schema[0] = 0.
+        ctx = _context_for(graph, 0, step=1)
+        np.testing.assert_allclose(walk.dynamic_weights(ctx), [0.0, 1.0, 0.0])
+
+    def test_unweighted_variant(self, tiny_graph):
+        graph = tiny_graph
+        graph.vertex_labels = np.array([0, 1, 0, 1, 0], dtype=np.int16)
+        walk = MetaPathWalk([0, 1], weighted=False)
+        ctx = _context_for(graph, 0, step=0)
+        np.testing.assert_allclose(walk.dynamic_weights(ctx), [1.0, 0.0, 1.0])
+
+    def test_edge_match(self, tiny_graph):
+        graph = assign_edge_labels(tiny_graph, n_labels=2, seed=1)
+        walk = MetaPathWalk([0], match="edge", weighted=False)
+        ctx = _context_for(graph, 0, step=0)
+        labels = graph.edge_labels[ctx.edge_positions]
+        np.testing.assert_allclose(walk.dynamic_weights(ctx), (labels == 0).astype(float))
+
+    def test_requires_labels(self, tiny_graph):
+        with pytest.raises(QueryError, match="vertex labels"):
+            MetaPathWalk([0, 1]).validate_graph(tiny_graph)
+        with pytest.raises(QueryError, match="edge labels"):
+            MetaPathWalk([0], match="edge").validate_graph(tiny_graph)
+
+    def test_invalid_schema(self):
+        with pytest.raises(QueryError):
+            MetaPathWalk([])
+        with pytest.raises(QueryError):
+            MetaPathWalk([0, -1])
+        with pytest.raises(QueryError):
+            MetaPathWalk([0], match="both")
+
+
+class TestNode2Vec:
+    def test_first_step_is_static(self, tiny_graph):
+        walk = Node2VecWalk(p=2.0, q=0.5)
+        ctx = _context_for(tiny_graph, 0, prev=-1)
+        np.testing.assert_allclose(walk.dynamic_weights(ctx), [3.0, 1.0, 4.0])
+
+    def test_second_order_weights(self, tiny_graph):
+        """From vertex 0 having arrived from 3: checks all three cases.
+
+        Neighbors of 0 are {1, 2, 3} with w* {3, 1, 4}:
+        * 3 is the previous vertex        -> w*/p = 4/2 = 2
+        * 2 satisfies (3, 2) in E         -> w*   = 1
+        * 1: (3, 1) not in E              -> w*/q = 3/0.5 = 6
+        """
+        walk = Node2VecWalk(p=2.0, q=0.5)
+        ctx = _context_for(tiny_graph, 0, prev=3, step=1)
+        np.testing.assert_allclose(walk.dynamic_weights(ctx), [6.0, 1.0, 2.0])
+
+    def test_p_q_one_reduces_to_static(self, tiny_graph):
+        walk = Node2VecWalk(p=1.0, q=1.0)
+        ctx = _context_for(tiny_graph, 0, prev=3, step=1)
+        np.testing.assert_allclose(walk.dynamic_weights(ctx), [3.0, 1.0, 4.0])
+
+    def test_invalid_params(self):
+        with pytest.raises(QueryError):
+            Node2VecWalk(p=0)
+        with pytest.raises(QueryError):
+            Node2VecWalk(q=-1)
+
+    def test_memory_profile_flags(self):
+        walk = Node2VecWalk()
+        assert walk.needs_previous
+        assert walk.fetches_previous_neighbors
+        assert walk.row_lookups_per_step == 2
+        assert not UniformWalk().needs_previous
+
+
+class TestEdgesExist:
+    def test_vectorized_membership(self, tiny_graph):
+        ctx = _context_for(tiny_graph, 0)
+        sources = np.array([0, 0, 1, 3, 2, 4])
+        targets = np.array([1, 0, 2, 2, 0, 1])
+        expected = np.array(
+            [tiny_graph.has_edge(u, v) for u, v in zip(sources, targets)]
+        )
+        np.testing.assert_array_equal(ctx.edges_exist(sources, targets), expected)
+
+    def test_requires_edge_keys(self, tiny_graph):
+        ctx = _context_for(tiny_graph, 0)
+        ctx.edge_keys_sorted = None
+        with pytest.raises(ValueError, match="edge keys"):
+            ctx.edges_exist(np.array([0]), np.array([1]))
