@@ -39,6 +39,14 @@ from repro.fpga.config import LightRWConfig
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASET_ORDER, DATASETS, load_dataset
 from repro.graph.generators import chung_lu_graph, erdos_renyi_graph, rmat_graph
+from repro.runtime import (
+    Backend,
+    BackendCapabilities,
+    BatchScheduler,
+    TimingBreakdown,
+    backend_names,
+    register_backend,
+)
 from repro.walks.metapath import MetaPathWalk
 from repro.walks.node2vec import Node2VecWalk
 from repro.walks.static import StaticWalk
@@ -47,6 +55,9 @@ from repro.walks.uniform import UniformWalk
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "BatchScheduler",
     "BurstStrategy",
     "CPUSpec",
     "CSRGraph",
@@ -66,13 +77,16 @@ __all__ = [
     "SpeedupReport",
     "StaticWalk",
     "ThunderRWEngine",
+    "TimingBreakdown",
     "UniformWalk",
     "__version__",
+    "backend_names",
     "chung_lu_graph",
     "compare_engines",
     "erdos_renyi_graph",
     "load_dataset",
     "make_queries",
+    "register_backend",
     "rmat_graph",
     "sample_queries",
 ]

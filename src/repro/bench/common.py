@@ -7,6 +7,25 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro.runtime import backend_names, comparison_backends, describe_backends
+
+__all__ = [
+    "DEFAULT_SAMPLED_QUERIES",
+    "DEFAULT_SCALE",
+    "DEFAULT_SEED",
+    "ExperimentResult",
+    "METAPATH_LENGTH",
+    "METAPATH_SCHEMA",
+    "NODE2VEC_LENGTH",
+    "NODE2VEC_P",
+    "NODE2VEC_Q",
+    "REGISTRY",
+    "backend_names",
+    "comparison_backends",
+    "describe_backends",
+    "register",
+]
+
 #: Default dataset scale divisor used by the experiments (see DESIGN.md's
 #: substitution table; the scaled-platform rule keeps ratios meaningful).
 DEFAULT_SCALE = 512

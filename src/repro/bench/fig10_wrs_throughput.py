@@ -12,8 +12,6 @@ module with synthetic weight streams; the "theoretical" line is
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.bench.common import DEFAULT_SEED, ExperimentResult, register
 from repro.fpga.dram import DRAMTimings
 from repro.fpga.wrs_sampler import WRSSamplerModel

@@ -15,11 +15,11 @@ from repro.bench.common import (
     NODE2VEC_P,
     NODE2VEC_Q,
     ExperimentResult,
+    comparison_backends,
     register,
 )
 from repro.core.api import LightRW
 from repro.core.queries import make_queries
-from repro.core.results import latency_box_stats
 from repro.graph.datasets import DATASET_ORDER, load_dataset
 from repro.walks.metapath import MetaPathWalk
 from repro.walks.node2vec import Node2VecWalk
@@ -43,10 +43,7 @@ def run(
         graph = load_dataset(name, scale_divisor=scale_divisor, seed=seed)
         starts = make_queries(graph, n_queries=n_queries, seed=seed)
         for app, algorithm, n_steps in workloads:
-            for backend, system in (
-                ("fpga-model", "LightRW"),
-                ("cpu-baseline", "ThunderRW"),
-            ):
+            for backend, system in comparison_backends():
                 engine = LightRW(
                     graph, backend=backend, hardware_scale=scale_divisor, seed=seed
                 )

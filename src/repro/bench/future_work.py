@@ -25,7 +25,6 @@ from repro.bench.common import (
 from repro.fpga.distributed import DistributedLightRW
 from repro.graph.partition import (
     greedy_grow_partition,
-    hash_partition,
     partition_quality,
     range_partition,
 )

@@ -14,6 +14,7 @@ from repro.bench.common import (
     METAPATH_LENGTH,
     METAPATH_SCHEMA,
     ExperimentResult,
+    comparison_backends,
     register,
 )
 from repro.core.api import LightRW
@@ -35,7 +36,7 @@ def run(
     starts = make_queries(graph, seed=seed)
 
     servers = {}
-    for backend, label in (("fpga-model", "LightRW"), ("cpu-baseline", "ThunderRW")):
+    for backend, label in comparison_backends():
         engine = LightRW(graph, backend=backend, hardware_scale=scale_divisor, seed=seed)
         result = engine.run(
             algorithm, METAPATH_LENGTH, starts=starts,

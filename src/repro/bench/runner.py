@@ -12,6 +12,7 @@ import sys
 import time
 
 from repro.bench import REGISTRY
+from repro.bench.common import describe_backends
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,6 +26,11 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment names (e.g. fig14 table1), or 'all'",
     )
     parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument(
+        "--backends",
+        action="store_true",
+        help="list the registered execution backends and exit",
+    )
     parser.add_argument(
         "--scale",
         type=int,
@@ -48,6 +54,11 @@ def main(argv: list[str] | None = None) -> int:
         help="after running, score the saved results against the paper's claims",
     )
     args = parser.parse_args(argv)
+
+    if args.backends:
+        for name, description in describe_backends():
+            print(f"{name:<14} {description}")
+        return 0
 
     if args.list or not args.experiments:
         for name in sorted(REGISTRY):

@@ -21,12 +21,14 @@ import numpy as np
 
 from repro.core.api import LightRW
 from repro.core.queries import make_queries
+from repro.errors import ReproError
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.generators import chung_lu_graph, erdos_renyi_graph, rmat_graph
 from repro.graph.io import load_csr_npz, load_edge_list_text, save_csr_npz
 from repro.graph.labels import assign_random_weights, assign_vertex_labels
 from repro.graph.stats import degree_histogram, degree_stats
+from repro.runtime import backend_names, describe_backends
 from repro.walks.metapath import MetaPathWalk
 from repro.walks.node2vec import Node2VecWalk
 from repro.walks.static import StaticWalk
@@ -34,6 +36,8 @@ from repro.walks.uniform import UniformWalk
 
 
 def _load_graph(spec: str, scale: int, seed: int) -> CSRGraph:
+    if scale < 1:
+        raise SystemExit(f"error: --scale must be a positive divisor, got {scale}")
     lowered = spec.lower()
     abbreviations = {s.abbreviation.lower() for s in DATASETS.values()}
     if lowered in DATASETS or lowered in abbreviations:
@@ -92,6 +96,11 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_walk(args: argparse.Namespace) -> int:
+    if args.backend not in backend_names():
+        raise SystemExit(
+            f"error: unknown backend {args.backend!r} "
+            f"(registered: {', '.join(backend_names())})"
+        )
     graph = _load_graph(args.graph, args.scale, args.seed)
     algorithm = _make_algorithm(args)
     engine = LightRW(
@@ -99,7 +108,8 @@ def cmd_walk(args: argparse.Namespace) -> int:
     )
     starts = make_queries(graph, n_queries=args.queries, seed=args.seed)
     result = engine.run(
-        algorithm, args.length, starts=starts, max_sampled_queries=args.max_sampled
+        algorithm, args.length, starts=starts, max_sampled_queries=args.max_sampled,
+        shards=args.shards, parallel=args.parallel,
     )
     print(
         f"{result.num_queries} queries x {args.length} steps on {args.backend}: "
@@ -150,7 +160,15 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=7)
     gen.set_defaults(fn=cmd_generate)
 
-    walk = sub.add_parser("walk", help="run GDRW queries")
+    backend_name_lines = "\n".join(
+        f"  {name:<14} {description}" for name, description in describe_backends()
+    )
+    walk = sub.add_parser(
+        "walk",
+        help="run GDRW queries",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=f"registered backends:\n{backend_name_lines}",
+    )
     walk.add_argument("graph")
     walk.add_argument("--algorithm", choices=["node2vec", "metapath", "uniform", "static"],
                       default="node2vec")
@@ -159,11 +177,23 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument("--p", type=float, default=2.0)
     walk.add_argument("--q", type=float, default=0.5)
     walk.add_argument("--schema", default="0,1,2,3")
-    walk.add_argument("--backend", choices=["fpga-model", "fpga-cycle", "cpu-baseline"],
-                      default="fpga-model")
+    walk.add_argument(
+        "--backend",
+        default="fpga-model",
+        metavar="NAME",
+        help="execution backend from the runtime registry (see below)",
+    )
     walk.add_argument("--scale", type=int, default=512)
     walk.add_argument("--seed", type=int, default=7)
     walk.add_argument("--max-sampled", type=int, default=2048)
+    walk.add_argument(
+        "--shards", type=int, default=1,
+        help="split the batch across N scheduler shards (same walks)",
+    )
+    walk.add_argument(
+        "--parallel", action="store_true",
+        help="execute shards through a worker pool (thread-safe backends)",
+    )
     walk.add_argument("--output", default=None, help="write paths to .npz")
     walk.add_argument("--show", type=int, default=5, help="paths to print")
     walk.set_defaults(fn=cmd_walk)
@@ -178,7 +208,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # Library errors (bad config, invalid query, malformed graph) are
+        # user input problems at the CLI boundary: one line, no traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

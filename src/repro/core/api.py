@@ -11,6 +11,8 @@ True
 
 Backends
 --------
+Backends live in the :mod:`repro.runtime` registry; the built-ins are
+
 ``"fpga-model"``
     The analytic performance model over functionally exact walks —
     default; handles graph-scale batches with query-sampled extrapolation.
@@ -19,7 +21,16 @@ Backends
 ``"cpu-baseline"``
     The modeled ThunderRW engine, for comparisons.
 
-The two FPGA backends produce identical walks for identical seeds.
+The two FPGA backends produce identical walks for identical seeds, and
+every backend produces identical walks regardless of how the batch is
+sharded.  Register additional backends with
+:func:`repro.runtime.register_backend`.
+
+This module is a thin facade: it builds a
+:class:`~repro.runtime.RuntimeContext`, asks the query planner for an
+:class:`~repro.runtime.ExecutionPlan`, hands it to the batch scheduler,
+and repackages the merged :class:`~repro.runtime.BackendReport` as a
+:class:`RunResult`.
 """
 
 from __future__ import annotations
@@ -28,19 +39,34 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.queries import make_queries, sample_queries
+from repro.core.queries import make_queries
 from repro.core.results import BoxStats, latency_box_stats
-from repro.cpu.costmodel import CPUSpec, CPUTimeBreakdown, cpu_time_for_session
-from repro.errors import ConfigError
-from repro.fpga.accelerator import CycleSimResult, LightRWAcceleratorSim
+from repro.cpu.costmodel import CPUSpec
 from repro.fpga.config import LightRWConfig
 from repro.fpga.pcie import PCIeModel
-from repro.fpga.perfmodel import FPGAPerfModel, FPGATimeBreakdown
 from repro.graph.csr import CSRGraph
+from repro.runtime import (
+    BackendReport,
+    BatchScheduler,
+    ExecutionPlan,
+    RuntimeContext,
+    TimingBreakdown,
+    backend_names,
+    create_backend,
+    plan_run,
+    resolve_backend,
+)
 from repro.walks.base import WalkAlgorithm
-from repro.walks.stepper import InverseTransformSampler, PWRSSampler, WalkSession, run_walks
+from repro.walks.stepper import WalkSession
 
-BACKENDS = ("fpga-model", "fpga-cycle", "cpu-baseline")
+
+def _backends_tuple() -> tuple[str, ...]:
+    return backend_names()
+
+
+#: Registered backend names (kept as a module attribute for backward
+#: compatibility; the authoritative list is the runtime registry).
+BACKENDS = _backends_tuple()
 
 
 @dataclass
@@ -57,7 +83,7 @@ class RunResult:
     lengths: np.ndarray
     kernel_s: float
     pcie_s: float
-    breakdown: FPGATimeBreakdown | CPUTimeBreakdown | CycleSimResult
+    breakdown: TimingBreakdown
     session: WalkSession | None = None
     query_latency_s: np.ndarray | None = None
     #: One-off setup cost outside the kernel: engine initialization for the
@@ -96,13 +122,15 @@ class LightRW:
         Accelerator configuration; defaults to the paper's deployment
         (k=16, b1+b32 bursts, 2^12-entry degree-aware cache, 4 instances).
     backend:
-        One of ``"fpga-model"``, ``"fpga-cycle"``, ``"cpu-baseline"``.
+        A registered backend name (``"fpga-model"``, ``"fpga-cycle"``,
+        ``"cpu-baseline"``, or anything added via
+        :func:`repro.runtime.register_backend`).
     hardware_scale:
         Dataset scale divisor for the scaled-platform rule; applied to the
         config's cache (and the CPU spec's caches for the baseline).
     seed:
         Sampling seed; identical seeds reproduce identical walks across the
-        FPGA backends.
+        FPGA backends (and across shard layouts).
     """
 
     def __init__(
@@ -115,8 +143,7 @@ class LightRW:
         cpu_spec: CPUSpec | None = None,
         pcie: PCIeModel | None = None,
     ) -> None:
-        if backend not in BACKENDS:
-            raise ConfigError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        resolve_backend(backend)  # fail fast with the registered names
         self.graph = graph
         self.backend = backend
         self.seed = int(seed)
@@ -136,6 +163,15 @@ class LightRW:
             setup_latency_s=30e-6 / max(self.config.hardware_scale, 1),
         )
 
+    def runtime_context(self) -> RuntimeContext:
+        """The immutable per-engine state the runtime backends execute with."""
+        return RuntimeContext(
+            graph=self.graph,
+            config=self.config,
+            cpu_spec=self.cpu_spec,
+            seed=self.seed,
+        )
+
     def run(
         self,
         algorithm: WalkAlgorithm,
@@ -144,6 +180,8 @@ class LightRW:
         max_sampled_queries: int = 4096,
         record_latency: bool = True,
         include_pcie: bool = True,
+        shards: int = 1,
+        parallel: bool = False,
     ) -> RunResult:
         """Walk a query batch and model its execution.
 
@@ -161,20 +199,24 @@ class LightRW:
             sample and the timing extrapolated (exact for the throughput
             experiments, see DESIGN.md).  The cycle backend ignores this
             and always walks everything it is given.
+        shards:
+            Split the batch into this many scheduler shards.  Walks are
+            identical for any shard count (per-query RNG is keyed by
+            global query id); shard timings merge into one breakdown.
+        parallel:
+            Execute shards through a worker pool when the backend is
+            thread safe.
         """
-        if starts is None:
-            starts = make_queries(self.graph, seed=self.seed)
-        starts = np.asarray(starts, dtype=np.int64)
-
-        if self.backend == "fpga-cycle":
-            return self._run_cycle(algorithm, starts, n_steps, include_pcie)
-
-        sampled, total = sample_queries(starts, max_sampled_queries, seed=self.seed)
-        if self.backend == "cpu-baseline":
-            return self._run_cpu(algorithm, sampled, total, n_steps)
-        return self._run_model(
-            algorithm, sampled, total, n_steps, record_latency, include_pcie
+        plan = self._plan(
+            algorithm,
+            n_steps,
+            starts,
+            max_sampled_queries=max_sampled_queries,
+            record_latency=record_latency,
+            include_pcie=include_pcie,
+            shards=shards,
         )
+        return self._execute(plan, parallel=parallel)
 
     def run_restart(
         self,
@@ -183,150 +225,81 @@ class LightRW:
         starts: np.ndarray | None = None,
         max_sampled_queries: int = 4096,
         include_pcie: bool = True,
+        shards: int = 1,
+        parallel: bool = False,
     ) -> RunResult:
         """Random walk with restart (personalized PageRank) on the model.
 
         Teleports are free steps for the hardware (the Query Controller
         decides before any memory access), which the recorded trace
-        reflects; only the ``fpga-model`` backend supports this walk.
+        reflects; only backends whose capabilities declare
+        ``supports_restart`` (the ``fpga-model`` built-in) run this walk.
         """
-        from repro.walks.ppr import RestartWalk, run_restart_walks
+        from repro.walks.ppr import RestartWalk
 
-        if self.backend != "fpga-model":
-            raise ConfigError("restart walks are supported on the fpga-model backend")
-        if starts is None:
-            starts = make_queries(self.graph, seed=self.seed)
-        sampled, total = sample_queries(
-            np.asarray(starts, dtype=np.int64), max_sampled_queries, seed=self.seed
+        plan = self._plan(
+            RestartWalk(alpha),
+            n_steps,
+            starts,
+            max_sampled_queries=max_sampled_queries,
+            record_latency=True,
+            include_pcie=include_pcie,
+            shards=shards,
+            restart_alpha=alpha,
         )
-        session = run_restart_walks(
-            self.graph, sampled, n_steps, alpha=alpha, k=self.config.k, seed=self.seed
-        )
-        algorithm = RestartWalk(alpha)
-        model = FPGAPerfModel(self.config, algorithm)
-        breakdown = model.evaluate(session, total_queries=total)
-        pcie_s = (
-            self.pcie.round_trip_s(self.graph, total, breakdown.total_steps)
-            if include_pcie
-            else 0.0
-        )
-        return RunResult(
-            backend=self.backend,
-            algorithm=algorithm.name,
-            num_queries=total,
-            total_steps=breakdown.total_steps,
-            paths=session.paths,
-            lengths=session.lengths,
-            kernel_s=breakdown.kernel_s,
-            pcie_s=pcie_s,
-            breakdown=breakdown,
-            session=session,
-            query_latency_s=breakdown.query_latency_seconds(),
-        )
+        return self._execute(plan, parallel=parallel)
 
-    # -- backends ------------------------------------------------------------
+    # -- runtime plumbing ----------------------------------------------------
 
-    def _run_model(
+    def _plan(
         self,
         algorithm: WalkAlgorithm,
-        starts: np.ndarray,
-        total_queries: int,
         n_steps: int,
+        starts: np.ndarray | None,
+        *,
+        max_sampled_queries: int,
         record_latency: bool,
         include_pcie: bool,
-    ) -> RunResult:
-        sampler = PWRSSampler(k=self.config.k, seed=self.seed)
-        session = run_walks(self.graph, starts, n_steps, algorithm, sampler)
-        model = FPGAPerfModel(self.config, algorithm)
-        breakdown = model.evaluate(
-            session, total_queries=total_queries, record_latency=record_latency
-        )
-        pcie_s = (
-            self.pcie.round_trip_s(self.graph, total_queries, breakdown.total_steps)
-            if include_pcie
-            else 0.0
-        )
-        return RunResult(
-            backend=self.backend,
-            algorithm=algorithm.name,
-            num_queries=total_queries,
-            total_steps=breakdown.total_steps,
-            paths=session.paths,
-            lengths=session.lengths,
-            kernel_s=breakdown.kernel_s,
-            pcie_s=pcie_s,
-            breakdown=breakdown,
-            session=session,
-            query_latency_s=(
-                breakdown.query_latency_seconds() if record_latency else None
-            ),
+        shards: int,
+        restart_alpha: float | None = None,
+    ) -> ExecutionPlan:
+        if starts is None:
+            starts = make_queries(self.graph, seed=self.seed)
+        return plan_run(
+            self.backend,
+            algorithm,
+            n_steps,
+            np.asarray(starts, dtype=np.int64),
+            max_sampled_queries=max_sampled_queries,
+            record_latency=record_latency,
+            include_pcie=include_pcie,
+            shards=shards,
+            restart_alpha=restart_alpha,
+            seed=self.seed,
         )
 
-    def _run_cycle(
-        self,
-        algorithm: WalkAlgorithm,
-        starts: np.ndarray,
-        n_steps: int,
-        include_pcie: bool,
-    ) -> RunResult:
-        sim = LightRWAcceleratorSim(self.graph, self.config, algorithm, seed=self.seed)
-        result = sim.run(starts, n_steps)
-        n_queries = starts.size
-        max_len = max((len(p) for p in result.paths.values()), default=1)
-        paths = np.full((n_queries, max_len), -1, dtype=np.int64)
-        lengths = np.zeros(n_queries, dtype=np.int64)
-        for qid, path in result.paths.items():
-            paths[qid, : len(path)] = path
-            lengths[qid] = len(path) - 1
-        latencies = np.array(
-            [result.query_latency_cycles.get(q, 0) for q in range(n_queries)],
-            dtype=np.float64,
-        ) / self.config.frequency_hz
-        pcie_s = (
-            self.pcie.round_trip_s(self.graph, n_queries, result.total_steps)
-            if include_pcie
-            else 0.0
-        )
-        return RunResult(
-            backend=self.backend,
-            algorithm=algorithm.name,
-            num_queries=n_queries,
-            total_steps=result.total_steps,
-            paths=paths,
-            lengths=lengths,
-            kernel_s=result.kernel_s,
-            pcie_s=pcie_s,
-            breakdown=result,
-            query_latency_s=latencies,
-        )
+    def _execute(self, plan: ExecutionPlan, parallel: bool = False) -> RunResult:
+        backend = create_backend(self.backend, self.runtime_context())
+        report = BatchScheduler(parallel=parallel).execute(backend, plan)
+        return self._package(plan, report)
 
-    def _run_cpu(
-        self,
-        algorithm: WalkAlgorithm,
-        starts: np.ndarray,
-        total_queries: int,
-        n_steps: int,
-    ) -> RunResult:
-        sampler = InverseTransformSampler(seed=self.seed)
-        session = run_walks(self.graph, starts, n_steps, algorithm, sampler)
-        timing = cpu_time_for_session(
-            session, algorithm, self.cpu_spec, total_queries=total_queries
-        )
+    def _package(self, plan: ExecutionPlan, report: BackendReport) -> RunResult:
+        pcie_s = 0.0
+        if plan.include_pcie and resolve_backend(self.backend).capabilities.uses_pcie:
+            pcie_s = self.pcie.round_trip_s(
+                self.graph, plan.total_queries, report.total_steps
+            )
         return RunResult(
             backend=self.backend,
-            algorithm=algorithm.name,
-            num_queries=total_queries,
-            total_steps=timing.total_steps,
-            paths=session.paths,
-            lengths=session.lengths,
-            kernel_s=timing.exec_s,
-            pcie_s=0.0,
-            setup_s=timing.init_time_s,
-            breakdown=timing,
-            session=session,
-            query_latency_s=(
-                timing.query_latency_s * self.cpu_spec.interleave_width
-                if timing.query_latency_s is not None
-                else None
-            ),
+            algorithm=plan.algorithm.name,
+            num_queries=plan.total_queries,
+            total_steps=report.total_steps,
+            paths=report.paths,
+            lengths=report.lengths,
+            kernel_s=report.kernel_s,
+            pcie_s=pcie_s,
+            setup_s=report.setup_s,
+            breakdown=report.breakdown,
+            session=report.session,
+            query_latency_s=report.query_latency_s,
         )

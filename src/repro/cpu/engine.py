@@ -90,11 +90,14 @@ class ThunderRWEngine:
         n_steps: int,
         algorithm: WalkAlgorithm,
         total_queries: int | None = None,
+        query_ids: np.ndarray | None = None,
     ) -> ThunderRWResult:
         """Execute one batch of queries and model its cost.
 
         ``total_queries`` enables query-sampled extrapolation: ``starts``
         is then treated as a uniform sample of that many queries.
+        ``query_ids`` keys per-query randomness globally so sharded
+        execution through the runtime scheduler walks identically.
         """
         if self.sampler_kind == "pwrs":
             strategy = PWRSSampler(k=self.pwrs_k, seed=self.seed)
@@ -105,7 +108,8 @@ class ThunderRWEngine:
             # the cost model).
             strategy = InverseTransformSampler(seed=self.seed)
         session = run_walks(
-            self.graph, starts, n_steps, algorithm, strategy, record_trace=True
+            self.graph, starts, n_steps, algorithm, strategy, record_trace=True,
+            query_ids=query_ids,
         )
         timing = cpu_time_for_session(
             session, algorithm, self.spec, sampler=self.sampler_kind,

@@ -13,10 +13,11 @@ against this simulator) for graph-scale runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.fpga.config import LightRWConfig
 from repro.fpga.modules import (
     BurstCmdGenerator,
@@ -47,14 +48,14 @@ class InstanceStats:
     bytes_valid: int
     bytes_loaded: int
     #: Busy cycles per pipeline module (module name -> cycles doing work).
-    module_busy: dict[str, int] = None
+    module_busy: dict[str, int] = field(default_factory=dict)
 
     def utilization(self) -> dict[str, float]:
         """Per-module busy fraction of the instance's run time."""
         if not self.cycles:
             return {}
         report = {"dram": self.dram_busy_cycles / self.cycles}
-        for name, busy in (self.module_busy or {}).items():
+        for name, busy in self.module_busy.items():
             report[name] = busy / self.cycles
         return report
 
@@ -207,8 +208,6 @@ class LightRWAcceleratorSim:
     def __init__(
         self, graph: CSRGraph, config: LightRWConfig, algorithm: WalkAlgorithm, seed: int = 0
     ) -> None:
-        from repro.errors import ConfigError
-
         algorithm.validate_graph(graph)
         if not config.use_wrs:
             raise ConfigError(
@@ -227,6 +226,7 @@ class LightRWAcceleratorSim:
         n_steps: int,
         max_cycles: int = 50_000_000,
         trace: bool = False,
+        query_ids: np.ndarray | None = None,
     ) -> CycleSimResult:
         """Simulate the full deployment; queries are spread round-robin.
 
@@ -236,10 +236,21 @@ class LightRWAcceleratorSim:
         semantics.  With ``trace=True`` every instance records pipeline
         events into a shared :class:`PipelineTracer` (returned on the
         result).
+
+        ``query_ids`` assigns global ids to the queries (default
+        ``arange``); per-query sampler seeds derive from these, so a
+        sharded batch replayed with its global ids walks identically to
+        the unsharded run.  The result's ``paths``/``query_latency_cycles``
+        are keyed by these ids.
         """
         starts = np.asarray(starts, dtype=np.int64)
         tracer = PipelineTracer() if trace else None
-        query_ids = np.arange(starts.size, dtype=np.int64)
+        if query_ids is None:
+            query_ids = np.arange(starts.size, dtype=np.int64)
+        else:
+            query_ids = np.asarray(query_ids, dtype=np.int64)
+            if query_ids.shape != starts.shape:
+                raise ConfigError("query_ids must align with starts")
         paths: dict[int, list[int]] = {}
         latencies: dict[int, int] = {}
         stats: list[InstanceStats] = []
@@ -247,7 +258,7 @@ class LightRWAcceleratorSim:
         for inst in range(self.config.n_instances):
             mask = query_ids % self.config.n_instances == inst
             if not np.any(mask):
-                stats.append(InstanceStats(0, 0, 0, 0, 0, 0, 0, 0, {}))
+                stats.append(InstanceStats(0, 0, 0, 0, 0, 0, 0, 0))
                 continue
             instance = _Instance(
                 self.graph,

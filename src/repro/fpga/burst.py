@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.fpga.dram import BUS_BYTES, DRAMTimings
+from repro.fpga.dram import DRAMTimings
 
 
 @dataclass(frozen=True)

@@ -32,7 +32,6 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.fpga.config import LightRWConfig
 from repro.fpga.perfmodel import FPGAPerfModel
-from repro.units import GIGA
 from repro.walks.base import WalkAlgorithm
 from repro.walks.stepper import WalkSession
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.graph.csr import CSRGraph
-from repro.units import GIGA
 
 #: Bytes per query descriptor (start vertex, length, metadata).
 QUERY_BYTES = 16

@@ -15,7 +15,7 @@ from dataclasses import replace
 
 from repro.fpga.config import LightRWConfig
 from repro.fpga.dram import DRAMTimings
-from repro.fpga.resources import FPGADevice, U250
+from repro.fpga.resources import FPGADevice
 
 #: Alveo U280: smaller fabric, 32 HBM2 pseudo-channels.
 U280 = FPGADevice(name="Alveo U280", luts=1_304_000, regs=2_607_000, brams=2_016, dsps=9_024)

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import chung_lu_graph
 from repro.graph.labels import assign_random_weights, assign_vertex_labels

@@ -20,7 +20,7 @@ translate layer names into the label sequences
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

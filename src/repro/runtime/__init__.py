@@ -1,0 +1,72 @@
+"""The pluggable runtime layer: registry, planner, scheduler.
+
+Every caller — the :class:`repro.core.api.LightRW` facade, the CLI and
+the bench runner — executes query batches through this package:
+
+1. the **backend registry** (:mod:`repro.runtime.backends`) maps backend
+   names to :class:`Backend` classes; new engines plug in with the
+   :func:`register_backend` decorator;
+2. the **query planner** (:mod:`repro.runtime.plan`) validates a request
+   against the backend's declared capabilities and lays out the sharded
+   :class:`ExecutionPlan`;
+3. the **batch scheduler** (:mod:`repro.runtime.scheduler`) executes the
+   shards (sequentially or via a worker pool) and merges the per-shard
+   :class:`BackendReport`\\ s — paths, latencies and the unified
+   :class:`TimingBreakdown` hierarchy.
+
+Identical seeds produce identical walks across backends and shard
+layouts, because per-query randomness is keyed by global query id.
+"""
+
+from repro.runtime.backends import (
+    Backend,
+    BackendCapabilities,
+    BackendReport,
+    CPUBaselineBackend,
+    FPGACycleBackend,
+    FPGAModelBackend,
+    RuntimeContext,
+    backend_capabilities,
+    backend_names,
+    comparison_backends,
+    create_backend,
+    describe_backends,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
+from repro.runtime.plan import ExecutionPlan, QueryShard, plan_run
+from repro.runtime.scheduler import BatchScheduler, run_plan
+from repro.runtime.timing import (
+    CPUBaselineBreakdown,
+    FPGACycleBreakdown,
+    FPGAModelBreakdown,
+    TimingBreakdown,
+)
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "BackendReport",
+    "BatchScheduler",
+    "CPUBaselineBackend",
+    "CPUBaselineBreakdown",
+    "ExecutionPlan",
+    "FPGACycleBackend",
+    "FPGACycleBreakdown",
+    "FPGAModelBackend",
+    "FPGAModelBreakdown",
+    "QueryShard",
+    "RuntimeContext",
+    "TimingBreakdown",
+    "backend_capabilities",
+    "backend_names",
+    "comparison_backends",
+    "create_backend",
+    "describe_backends",
+    "plan_run",
+    "register_backend",
+    "resolve_backend",
+    "run_plan",
+    "unregister_backend",
+]

@@ -1,0 +1,64 @@
+"""Sharded batch scheduler: execute a plan's shards and merge the reports.
+
+Large query batches are split into shards by the planner; the scheduler
+drives a backend over them — sequentially by default, or through a worker
+pool for backends whose execution is thread safe (the functional stepper
+releases the GIL inside its numpy kernels, so shards genuinely overlap).
+Shard reports always merge in shard order, so the merged paths/latencies
+are in global query-id order and the result is independent of worker
+scheduling.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.runtime.backends import Backend, BackendReport
+from repro.runtime.plan import ExecutionPlan
+
+
+@dataclass
+class BatchScheduler:
+    """Execution policy for a planned batch.
+
+    Parameters
+    ----------
+    parallel:
+        Execute shards through a thread pool when the backend declares
+        ``thread_safe``.  Walks are identical either way (per-query RNG);
+        only wall-clock changes.
+    max_workers:
+        Pool width; defaults to ``min(shards, cpu_count)``.
+    """
+
+    parallel: bool = False
+    max_workers: int | None = None
+
+    def execute(self, backend: Backend, plan: ExecutionPlan) -> BackendReport:
+        """Run every shard of ``plan`` on ``backend`` and merge the reports."""
+        shards = plan.shards
+        if not shards:
+            raise ValueError("plan has no shards to execute")
+        use_pool = (
+            self.parallel and len(shards) > 1 and backend.capabilities.thread_safe
+        )
+        if use_pool:
+            workers = self.max_workers or min(len(shards), os.cpu_count() or 1)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                reports = list(
+                    pool.map(lambda shard: backend.execute(plan, shard), shards)
+                )
+        else:
+            reports = [backend.execute(plan, shard) for shard in shards]
+        return backend.merge(plan, reports)
+
+
+def run_plan(
+    backend: Backend,
+    plan: ExecutionPlan,
+    scheduler: BatchScheduler | None = None,
+) -> BackendReport:
+    """Convenience wrapper: execute ``plan`` with a default scheduler."""
+    return (scheduler or BatchScheduler()).execute(backend, plan)

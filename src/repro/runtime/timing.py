@@ -1,0 +1,231 @@
+"""Unified timing results for every execution backend.
+
+The public API used to type ``RunResult.breakdown`` as the union
+``FPGATimeBreakdown | CPUTimeBreakdown | CycleSimResult``, which forced
+callers into ``isinstance`` ladders and made shard merging ad hoc.  This
+module replaces the union with a small dataclass hierarchy:
+
+* :class:`TimingBreakdown` — the backend-independent surface every caller
+  can rely on (``kernel_s``, ``total_steps``, ``num_queries``,
+  ``steps_per_second``, ``components()``), plus the backend-native object
+  on ``.detail``;
+* one subclass per backend family, each knowing how to **merge** the
+  per-shard reports the batch scheduler produces back into a single
+  breakdown.
+
+Backward compatibility: attribute access falls through to ``detail``, so
+existing code reading e.g. ``result.breakdown.cache_accesses`` (analytic
+model) or ``result.breakdown.instances`` (cycle simulator) keeps working
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TimingBreakdown:
+    """Backend-independent view of one modeled execution.
+
+    ``detail`` holds the backend-native breakdown (``FPGATimeBreakdown``,
+    ``CycleSimResult`` or ``CPUTimeBreakdown``); unknown attributes are
+    delegated to it so legacy call sites keep working.
+    """
+
+    backend: str
+    kernel_s: float
+    total_steps: int
+    num_queries: int
+    setup_s: float = 0.0
+    detail: Any = None
+
+    @property
+    def steps_per_second(self) -> float:
+        """Kernel-time step throughput (the paper's figure-of-merit)."""
+        return self.total_steps / self.kernel_s if self.kernel_s > 0 else 0.0
+
+    def components(self) -> dict[str, float]:
+        """Named time components (seconds); backend families refine this."""
+        return {"kernel": self.kernel_s, "setup": self.setup_s}
+
+    def __getattr__(self, name: str) -> Any:
+        # Only reached when normal lookup fails; fall through to the
+        # backend-native breakdown for compatibility with pre-runtime code.
+        if name.startswith("_") or name == "detail":
+            raise AttributeError(name)
+        detail = self.__dict__.get("detail")
+        if detail is None:
+            raise AttributeError(
+                f"{type(self).__name__} has no attribute {name!r} and no detail"
+            )
+        return getattr(detail, name)
+
+    @classmethod
+    def merged(cls, parts: Sequence["TimingBreakdown"]) -> "TimingBreakdown":
+        """Combine per-shard breakdowns of a sequentially executed batch."""
+        if not parts:
+            raise ValueError("cannot merge zero breakdowns")
+        if len(parts) == 1:
+            return parts[0]
+        return cls(
+            backend=parts[0].backend,
+            kernel_s=sum(p.kernel_s for p in parts),
+            total_steps=sum(p.total_steps for p in parts),
+            num_queries=sum(p.num_queries for p in parts),
+            setup_s=sum(p.setup_s for p in parts),
+            detail=cls._merge_details(parts),
+        )
+
+    @classmethod
+    def _merge_details(cls, parts: Sequence["TimingBreakdown"]) -> Any:
+        return parts[0].detail
+
+
+@dataclass
+class FPGAModelBreakdown(TimingBreakdown):
+    """Timing from the analytic performance model (``fpga-model``)."""
+
+    def components(self) -> dict[str, float]:
+        native = self.detail
+        out = {"kernel": self.kernel_s, "setup": self.setup_s}
+        if native is not None:
+            hz = native.config.frequency_hz
+            out.update(
+                memory=float(native.mem_cycles.sum()) / hz,
+                sampler=float(native.sampler_cycles.sum()) / hz,
+                controller=float(native.controller_cycles.sum()) / hz,
+                fill=float(native.fill_cycles) / hz,
+            )
+        return out
+
+    @classmethod
+    def _merge_details(cls, parts: Sequence[TimingBreakdown]) -> Any:
+        natives = [p.detail for p in parts]
+        if any(n is None for n in natives):
+            return natives[0]
+        first = natives[0]
+        latencies = [n.query_latency_cycles for n in natives]
+        merged_latency = (
+            np.concatenate(latencies) if all(x is not None for x in latencies) else None
+        )
+        # Re-running __post_init__ via replace() recomputes kernel_cycles
+        # from the summed busy arrays — sequential shards stack resources.
+        return replace(
+            first,
+            total_steps=sum(n.total_steps for n in natives),
+            num_queries=sum(n.num_queries for n in natives),
+            mem_cycles=np.sum([n.mem_cycles for n in natives], axis=0),
+            sampler_cycles=np.sum([n.sampler_cycles for n in natives], axis=0),
+            controller_cycles=np.sum([n.controller_cycles for n in natives], axis=0),
+            fill_cycles=sum(n.fill_cycles for n in natives),
+            cache_accesses=sum(n.cache_accesses for n in natives),
+            cache_hits=sum(n.cache_hits for n in natives),
+            bytes_valid=sum(n.bytes_valid for n in natives),
+            bytes_loaded=sum(n.bytes_loaded for n in natives),
+            query_latency_cycles=merged_latency,
+        )
+
+
+@dataclass
+class FPGACycleBreakdown(TimingBreakdown):
+    """Timing from the cycle-accurate simulator (``fpga-cycle``)."""
+
+    def components(self) -> dict[str, float]:
+        out = {"kernel": self.kernel_s, "setup": self.setup_s}
+        native = self.detail
+        if native is not None:
+            for module, busy in native.utilization_report().items():
+                out[module] = busy * self.kernel_s
+        return out
+
+    @classmethod
+    def _merge_details(cls, parts: Sequence[TimingBreakdown]) -> Any:
+        from repro.fpga.accelerator import CycleSimResult, InstanceStats
+
+        natives = [p.detail for p in parts]
+        if any(n is None for n in natives):
+            return natives[0]
+        first = natives[0]
+        paths: dict[int, list[int]] = {}
+        latencies: dict[int, int] = {}
+        for native in natives:
+            paths.update(native.paths)
+            latencies.update(native.query_latency_cycles)
+        n_instances = max(len(n.instances) for n in natives)
+        instances = []
+        for idx in range(n_instances):
+            shard_stats = [n.instances[idx] for n in natives if idx < len(n.instances)]
+            module_busy: dict[str, int] = {}
+            for stats in shard_stats:
+                for module, busy in stats.module_busy.items():
+                    module_busy[module] = module_busy.get(module, 0) + busy
+            instances.append(
+                InstanceStats(
+                    cycles=sum(s.cycles for s in shard_stats),
+                    dram_busy_cycles=sum(s.dram_busy_cycles for s in shard_stats),
+                    dram_bytes=sum(s.dram_bytes for s in shard_stats),
+                    dram_requests=sum(s.dram_requests for s in shard_stats),
+                    cache_hits=sum(s.cache_hits for s in shard_stats),
+                    cache_misses=sum(s.cache_misses for s in shard_stats),
+                    bytes_valid=sum(s.bytes_valid for s in shard_stats),
+                    bytes_loaded=sum(s.bytes_loaded for s in shard_stats),
+                    module_busy=module_busy,
+                )
+            )
+        return CycleSimResult(
+            config=first.config,
+            cycles=sum(n.cycles for n in natives),
+            paths=paths,
+            instances=instances,
+            query_latency_cycles=latencies,
+            tracer=None,
+        )
+
+
+@dataclass
+class CPUBaselineBreakdown(TimingBreakdown):
+    """Timing from the modeled ThunderRW engine (``cpu-baseline``)."""
+
+    def components(self) -> dict[str, float]:
+        out = {"kernel": self.kernel_s, "setup": self.setup_s}
+        native = self.detail
+        if native is not None:
+            out.update(
+                sequential=native.seq_time_s,
+                random=native.rand_time_s,
+                instructions=native.instr_time_s,
+                init=native.init_time_s,
+            )
+        return out
+
+    @classmethod
+    def _merge_details(cls, parts: Sequence[TimingBreakdown]) -> Any:
+        natives = [p.detail for p in parts]
+        if any(n is None for n in natives):
+            return natives[0]
+        first = natives[0]
+        latencies = [n.query_latency_s for n in natives]
+        merged_latency = (
+            np.concatenate(latencies) if all(x is not None for x in latencies) else None
+        )
+        total_steps = sum(n.total_steps for n in natives)
+        miss = (
+            sum(n.llc_miss_ratio * n.total_steps for n in natives) / total_steps
+            if total_steps
+            else first.llc_miss_ratio
+        )
+        return replace(
+            first,
+            total_steps=total_steps,
+            num_queries=sum(n.num_queries for n in natives),
+            seq_time_s=sum(n.seq_time_s for n in natives),
+            rand_time_s=sum(n.rand_time_s for n in natives),
+            instr_time_s=sum(n.instr_time_s for n in natives),
+            init_time_s=sum(n.init_time_s for n in natives),
+            query_latency_s=merged_latency,
+            llc_miss_ratio=miss,
+        )

@@ -45,14 +45,14 @@ class AliasTable:
         large = [i for i in range(n) if scaled[i] >= 1.0]
         while small and large:
             s = small.pop()
-            l = large.pop()
+            g = large.pop()
             self.prob[s] = scaled[s]
-            self.alias[s] = l
-            scaled[l] = (scaled[l] + scaled[s]) - 1.0
-            if scaled[l] < 1.0:
-                small.append(l)
+            self.alias[s] = g
+            scaled[g] = (scaled[g] + scaled[s]) - 1.0
+            if scaled[g] < 1.0:
+                small.append(g)
             else:
-                large.append(l)
+                large.append(g)
         for i in large:
             self.prob[i] = 1.0
         for i in small:

@@ -58,6 +58,7 @@ def run_restart_walks(
     alpha: float = 0.15,
     k: int = 16,
     seed: int = 0,
+    query_ids: np.ndarray | None = None,
 ) -> WalkSession:
     """Walk every query ``n_steps`` steps with restart probability ``alpha``.
 
@@ -65,12 +66,19 @@ def run_restart_walks(
     after a restart), and the recorded trace charges each step the work
     the hardware performs: a restart step decides before any memory access
     is issued, so it contributes a zero-degree record entry.
+
+    ``query_ids`` are the global ids that key per-query randomness
+    (default ``arange``); sharded execution passes each shard's ids so
+    restart walks are shard-invariant too.
     """
     starts = np.asarray(starts, dtype=np.int64)
     algorithm = RestartWalk(alpha)
     algorithm.validate_graph(graph)
     n_queries = starts.size
-    query_ids = np.arange(n_queries, dtype=np.int64)
+    if query_ids is None:
+        query_ids = np.arange(n_queries, dtype=np.int64)
+    else:
+        query_ids = np.asarray(query_ids, dtype=np.int64)
 
     sampler = PWRSSampler(k=k, seed=seed)
     sampler.attach(n_queries, query_ids)

@@ -223,6 +223,7 @@ def run_walks(
     algorithm: WalkAlgorithm,
     sampler: PWRSSampler | InverseTransformSampler,
     record_trace: bool = True,
+    query_ids: np.ndarray | None = None,
 ) -> WalkSession:
     """Walk every query ``n_steps`` steps (or until a dead end).
 
@@ -242,6 +243,11 @@ def run_walks(
     record_trace:
         Keep per-step :class:`StepRecord` entries (required by the
         performance models; disable only for pure functional runs).
+    query_ids:
+        Global query ids used to derive per-query RNG lanes; defaults to
+        ``arange(len(starts))``.  The sharded batch scheduler passes each
+        shard's global ids here so a query's walk is independent of the
+        shard layout.
     """
     starts = np.asarray(starts, dtype=np.int64)
     if starts.ndim != 1:
@@ -253,7 +259,12 @@ def run_walks(
     algorithm.validate_graph(graph)
 
     n_queries = starts.size
-    query_ids = np.arange(n_queries, dtype=np.int64)
+    if query_ids is None:
+        query_ids = np.arange(n_queries, dtype=np.int64)
+    else:
+        query_ids = np.asarray(query_ids, dtype=np.int64)
+        if query_ids.shape != starts.shape:
+            raise QueryError("query_ids must align with starts")
     sampler.attach(n_queries, query_ids)
 
     paths = np.full((n_queries, n_steps + 1), -1, dtype=np.int64)

@@ -15,7 +15,7 @@ from repro.apps.word2vec import (
     train_skipgram,
     walk_training_pairs,
 )
-from repro.graph.generators import chung_lu_graph, cycle_graph
+from repro.graph.generators import chung_lu_graph
 
 
 class TestTrainingPairs:

@@ -6,7 +6,6 @@ These use deliberately small parameters — the full-size runs live in
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench import REGISTRY

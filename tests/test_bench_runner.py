@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.bench.common import ExperimentResult, REGISTRY, _format_cell
 from repro.bench.runner import main
 

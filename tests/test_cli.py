@@ -75,3 +75,63 @@ def test_walk_text_edge_list(tmp_path):
 def test_rngtest(capsys):
     assert main(["rngtest", "--samples", "20000", "--lanes", "4"]) == 0
     assert "battery: PASS" in capsys.readouterr().out
+
+
+def test_walk_unknown_backend_one_line_error(tmp_path):
+    bundle = tmp_path / "g.npz"
+    main(["generate", "rmat", str(bundle), "--vertices-log2", "6"])
+    with pytest.raises(SystemExit) as excinfo:
+        main(["walk", str(bundle), "--backend", "warp-drive"])
+    message = str(excinfo.value)
+    assert message.startswith("error:")
+    assert "\n" not in message
+    assert "fpga-model" in message  # names the registered backends
+
+
+def test_walk_out_of_range_scale_one_line_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["walk", "youtube", "--scale", "-3"])
+    message = str(excinfo.value)
+    assert message.startswith("error:")
+    assert "\n" not in message
+
+
+def test_config_errors_become_one_line_errors(tmp_path, capsys):
+    bundle = tmp_path / "g.npz"
+    main(["generate", "rmat", str(bundle), "--vertices-log2", "6"])
+    capsys.readouterr()
+    # Metapath on an unlabeled graph raises a library error deep inside;
+    # the CLI must turn it into `error: ...`, not a traceback.
+    assert main([
+        "walk", str(bundle), "--algorithm", "metapath", "--length", "3",
+        "--queries", "4",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+
+
+def test_walk_help_lists_registered_backends(capsys):
+    with pytest.raises(SystemExit):
+        main(["walk", "--help"])
+    out = capsys.readouterr().out
+    assert "registered backends" in out
+    for name in ("fpga-model", "fpga-cycle", "cpu-baseline"):
+        assert name in out
+
+
+def test_walk_sharded_matches_unsharded(tmp_path, capsys):
+    bundle = tmp_path / "g.npz"
+    main(["generate", "rmat", str(bundle), "--vertices-log2", "7", "--weights"])
+    out_a = tmp_path / "a.npz"
+    out_b = tmp_path / "b.npz"
+    assert main([
+        "walk", str(bundle), "--algorithm", "uniform", "--length", "5",
+        "--queries", "16", "--output", str(out_a),
+    ]) == 0
+    assert main([
+        "walk", str(bundle), "--algorithm", "uniform", "--length", "5",
+        "--queries", "16", "--shards", "4", "--output", str(out_b),
+    ]) == 0
+    a, b = np.load(out_a), np.load(out_b)
+    np.testing.assert_array_equal(a["paths"], b["paths"])
+    np.testing.assert_array_equal(a["lengths"], b["lengths"])

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.fpga.burst import FIXED_LONG, SHORT_ONLY, BurstStrategy
+from repro.fpga.burst import FIXED_LONG, SHORT_ONLY
 from repro.fpga.config import LightRWConfig
 from repro.fpga.perfmodel import FPGAPerfModel
-from repro.walks.metapath import MetaPathWalk
 from repro.walks.node2vec import Node2VecWalk
 from repro.walks.stepper import PWRSSampler, run_walks
 from repro.walks.uniform import UniformWalk

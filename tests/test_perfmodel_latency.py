@@ -40,8 +40,6 @@ class TestLatencySemantics:
         assert np.median(contended) >= np.median(relaxed)
 
     def test_dram_latency_contributes(self, session):
-        from dataclasses import replace
-
         from repro.fpga.dram import DRAMTimings
 
         fast = FPGAPerfModel(

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cpu.costmodel import CPUSpec, cpu_time_for_session

@@ -8,7 +8,6 @@ from scipy import stats
 
 from repro.sampling.rng import (
     ThundeRingRNG,
-    UINT32_SPAN,
     XorShift128Plus,
     derive_seed,
     splitmix64,

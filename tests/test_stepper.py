@@ -189,7 +189,6 @@ class TestValidationErrors:
 
     def test_sampler_requires_attach(self, labeled_graph):
         from repro.errors import ConfigError
-        from repro.walks.base import StepContext
 
         sampler = PWRSSampler(4, 0)
         with pytest.raises(ConfigError):

@@ -17,7 +17,6 @@ from repro.walks.uniform import UniformWalk
 
 @pytest.fixture(scope="module")
 def swept(request):
-    import numpy as np
     from repro.graph.generators import chung_lu_graph
 
     graph = chung_lu_graph(256, avg_degree=8.0, seed=5, directed=False)

@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import QueryError
 from repro.graph.builders import from_edge_list
-from repro.graph.labels import assign_edge_labels, assign_vertex_labels
+from repro.graph.labels import assign_edge_labels
 from repro.walks.base import StepContext, WEIGHT_SCALE, quantize_weights
 from repro.walks.metapath import MetaPathWalk
 from repro.walks.node2vec import Node2VecWalk
