@@ -39,6 +39,7 @@ from repro.fpga.config import LightRWConfig
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASET_ORDER, DATASETS, load_dataset
 from repro.graph.generators import chung_lu_graph, erdos_renyi_graph, rmat_graph
+from repro.obs import MetricsRegistry, Observer, RunManifest, use_observer
 from repro.runtime import (
     Backend,
     BackendCapabilities,
@@ -69,9 +70,12 @@ __all__ = [
     "LightRWAcceleratorSim",
     "LightRWConfig",
     "MetaPathWalk",
+    "MetricsRegistry",
     "Node2VecWalk",
+    "Observer",
     "QueryError",
     "ReproError",
+    "RunManifest",
     "RunResult",
     "SimulationError",
     "SpeedupReport",
@@ -89,4 +93,5 @@ __all__ = [
     "register_backend",
     "rmat_graph",
     "sample_queries",
+    "use_observer",
 ]

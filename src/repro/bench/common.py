@@ -52,6 +52,9 @@ class ExperimentResult:
     paper_expectation: str
     params: dict = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
+    #: Telemetry snapshot of the runs behind this experiment (populated by
+    #: the runner when it executes under an observer; see repro.obs).
+    metrics: dict = field(default_factory=dict)
 
     def column_names(self) -> list[str]:
         names: list[str] = []
@@ -102,6 +105,8 @@ class ExperimentResult:
             "rows": self.rows,
             "notes": self.notes,
         }
+        if self.metrics:
+            payload["metrics"] = self.metrics
         path.write_text(json.dumps(payload, indent=2, default=str))
         return path
 

@@ -13,6 +13,7 @@ import time
 
 from repro.bench import REGISTRY
 from repro.bench.common import describe_backends
+from repro.obs import Observer, configure_logging, use_observer
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -53,7 +54,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="after running, score the saved results against the paper's claims",
     )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="skip attaching telemetry snapshots to the saved JSON results",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        help="enable structured logging at this level (debug/info/...)",
+    )
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
 
     if args.backends:
         for name, description in describe_backends():
@@ -78,7 +90,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.scale is not None and "scale_divisor" in run.__code__.co_varnames:
             kwargs["scale_divisor"] = args.scale
         started = time.perf_counter()
-        result = run(**kwargs)
+        # Runs inside every experiment execute through the LightRW facade,
+        # which picks up the ambient observer — so each saved report
+        # carries the metric series its own runs produced.
+        observer = None if args.no_metrics else Observer()
+        with use_observer(observer):
+            result = run(**kwargs)
+        if observer is not None and len(observer.metrics):
+            result.metrics = observer.metrics.snapshot()
         elapsed = time.perf_counter() - started
         print(result.report())
         print(f"({elapsed:.1f}s)")

@@ -1,19 +1,26 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands for working with the library from a shell:
+Five commands for working with the library from a shell:
 
 * ``info <graph>``     — load a graph and print its statistics;
 * ``generate <kind>``  — synthesize a graph and save it as a CSR bundle;
 * ``walk <graph>``     — run GDRW queries and write the paths;
-* ``rngtest``          — run the randomness battery on the lane generator.
+* ``rngtest``          — run the randomness battery on the lane generator;
+* ``obs summarize``    — digest telemetry JSONL written by ``walk --metrics``.
 
 Graphs are referenced either by dataset name (``livejournal``, ``yt``, ...)
 or by file path (``.npz`` CSR bundles or ``src dst [weight]`` text).
+
+``walk`` exposes the observability layer: ``--metrics out.jsonl`` appends
+one run record (manifest + metric series + spans), ``--trace-out
+trace.json`` writes a ``chrome://tracing`` / Perfetto file, and the
+global ``--log-level`` flag wires structured :mod:`logging`.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 
@@ -28,11 +35,23 @@ from repro.graph.generators import chung_lu_graph, erdos_renyi_graph, rmat_graph
 from repro.graph.io import load_csr_npz, load_edge_list_text, save_csr_npz
 from repro.graph.labels import assign_random_weights, assign_vertex_labels
 from repro.graph.stats import degree_histogram, degree_stats
+from repro.obs import (
+    LOG_LEVELS,
+    Observer,
+    append_jsonl,
+    configure_logging,
+    read_jsonl,
+    run_record,
+    summarize_records,
+    write_chrome_trace,
+)
 from repro.runtime import backend_names, describe_backends
 from repro.walks.metapath import MetaPathWalk
 from repro.walks.node2vec import Node2VecWalk
 from repro.walks.static import StaticWalk
 from repro.walks.uniform import UniformWalk
+
+logger = logging.getLogger(__name__)
 
 
 def _load_graph(spec: str, scale: int, seed: int) -> CSRGraph:
@@ -103,19 +122,39 @@ def cmd_walk(args: argparse.Namespace) -> int:
         )
     graph = _load_graph(args.graph, args.scale, args.seed)
     algorithm = _make_algorithm(args)
+    observe = bool(args.metrics or args.trace_out)
+    observer = Observer() if observe else None
     engine = LightRW(
-        graph, backend=args.backend, hardware_scale=args.scale, seed=args.seed
+        graph, backend=args.backend, hardware_scale=args.scale, seed=args.seed,
+        observer=observer,
     )
     starts = make_queries(graph, n_queries=args.queries, seed=args.seed)
     result = engine.run(
         algorithm, args.length, starts=starts, max_sampled_queries=args.max_sampled,
         shards=args.shards, parallel=args.parallel,
+        trace=bool(args.trace_out),
     )
     print(
         f"{result.num_queries} queries x {args.length} steps on {args.backend}: "
         f"{result.total_steps} steps, kernel {result.kernel_s * 1e3:.3f} ms, "
         f"{result.steps_per_second:.3g} steps/s"
     )
+    if args.metrics:
+        path = append_jsonl(args.metrics, run_record(result, observer))
+        print(f"appended metrics record to {path}")
+    if args.trace_out:
+        path = write_chrome_trace(
+            args.trace_out,
+            spans=observer.spans.finished() if observer else None,
+            tracer=result.tracer,
+            cycle_result=(
+                result.breakdown.detail
+                if hasattr(result.breakdown.detail, "instances")
+                else None
+            ),
+            frequency_hz=engine.config.frequency_hz,
+        )
+        print(f"wrote Chrome trace to {path}")
     if args.output:
         np.savez_compressed(args.output, paths=result.paths, lengths=result.lengths)
         print(f"wrote paths to {args.output}")
@@ -123,6 +162,20 @@ def cmd_walk(args: argparse.Namespace) -> int:
         for q in range(min(args.show, result.paths.shape[0])):
             path = result.paths[q, : result.lengths[q] + 1]
             print(f"  {q}: {' '.join(map(str, path.tolist()))}")
+    return 0
+
+
+def cmd_obs_summarize(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    if not path.exists():
+        raise SystemExit(f"error: no such telemetry file: {args.file!r}")
+    records = read_jsonl(path)
+    print(summarize_records(records))
+    if args.prometheus and records:
+        from repro.obs.export import prometheus_from_snapshot
+
+        print()
+        print(prometheus_from_snapshot(records[-1].get("metrics") or {}), end="")
     return 0
 
 
@@ -140,6 +193,10 @@ def cmd_rngtest(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LightRW reproduction command line"
+    )
+    parser.add_argument(
+        "--log-level", default=None, choices=LOG_LEVELS,
+        help="enable structured logging at this level",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -196,6 +253,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     walk.add_argument("--output", default=None, help="write paths to .npz")
     walk.add_argument("--show", type=int, default=5, help="paths to print")
+    walk.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="append a telemetry record (manifest + metrics + spans) as JSONL",
+    )
+    walk.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a chrome://tracing / Perfetto trace of the run "
+             "(includes pipeline events on the fpga-cycle backend)",
+    )
     walk.set_defaults(fn=cmd_walk)
 
     rng = sub.add_parser("rngtest", help="run the randomness battery")
@@ -203,11 +269,24 @@ def build_parser() -> argparse.ArgumentParser:
     rng.add_argument("--samples", type=int, default=50_000)
     rng.add_argument("--seed", type=int, default=7)
     rng.set_defaults(fn=cmd_rngtest)
+
+    obs = sub.add_parser("obs", help="inspect telemetry written by walk --metrics")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize", help="digest a telemetry JSONL file"
+    )
+    summarize.add_argument("file", help="JSONL file written by walk --metrics")
+    summarize.add_argument(
+        "--prometheus", action="store_true",
+        help="also dump the last record's metrics in Prometheus text format",
+    )
+    summarize.set_defaults(fn=cmd_obs_summarize)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.log_level)
     try:
         return args.fn(args)
     except ReproError as exc:

@@ -35,6 +35,7 @@ and repackages the merged :class:`~repro.runtime.BackendReport` as a
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
@@ -45,6 +46,14 @@ from repro.cpu.costmodel import CPUSpec
 from repro.fpga.config import LightRWConfig
 from repro.fpga.pcie import PCIeModel
 from repro.graph.csr import CSRGraph
+from repro.obs import (
+    Observer,
+    RunManifest,
+    build_manifest,
+    current_observer,
+    record_run,
+    use_observer,
+)
 from repro.runtime import (
     BackendReport,
     BatchScheduler,
@@ -58,6 +67,8 @@ from repro.runtime import (
 )
 from repro.walks.base import WalkAlgorithm
 from repro.walks.stepper import WalkSession
+
+logger = logging.getLogger(__name__)
 
 
 def _backends_tuple() -> tuple[str, ...]:
@@ -90,6 +101,18 @@ class RunResult:
     #: CPU baseline (zero for the FPGA backends, whose setup is the PCIe
     #: transfer already counted in ``pcie_s``).
     setup_s: float = 0.0
+    #: Provenance of this run (seed, backend, plan, config hash, version,
+    #: host) — attached to every result, observed or not.
+    manifest: RunManifest | None = None
+
+    @property
+    def tracer(self):
+        """The cycle simulator's pipeline tracer, when the run recorded one.
+
+        Present only for single-shard ``fpga-cycle`` runs started with
+        ``trace=True``; ``None`` otherwise.
+        """
+        return getattr(self.breakdown.detail, "tracer", None)
 
     @property
     def end_to_end_s(self) -> float:
@@ -131,6 +154,11 @@ class LightRW:
     seed:
         Sampling seed; identical seeds reproduce identical walks across the
         FPGA backends (and across shard layouts).
+    observer:
+        A :class:`repro.obs.Observer` collecting metrics and spans for
+        every run of this engine.  ``None`` (default) collects nothing
+        unless a caller installed one with
+        :func:`repro.obs.use_observer` or passes one to :meth:`run`.
     """
 
     def __init__(
@@ -142,11 +170,13 @@ class LightRW:
         seed: int = 0,
         cpu_spec: CPUSpec | None = None,
         pcie: PCIeModel | None = None,
+        observer: Observer | None = None,
     ) -> None:
         resolve_backend(backend)  # fail fast with the registered names
         self.graph = graph
         self.backend = backend
         self.seed = int(seed)
+        self.observer = observer
         base_config = config or LightRWConfig()
         if hardware_scale > 1 and base_config.hardware_scale == 1:
             base_config = base_config.scaled(hardware_scale)
@@ -182,6 +212,8 @@ class LightRW:
         include_pcie: bool = True,
         shards: int = 1,
         parallel: bool = False,
+        observer: Observer | None = None,
+        trace: bool = False,
     ) -> RunResult:
         """Walk a query batch and model its execution.
 
@@ -206,17 +238,29 @@ class LightRW:
         parallel:
             Execute shards through a worker pool when the backend is
             thread safe.
+        observer:
+            Telemetry sink for this run (overrides the engine-level
+            observer).
+        trace:
+            Record pipeline events on the ``fpga-cycle`` backend; read
+            them from ``result.tracer`` or export with
+            :func:`repro.obs.write_chrome_trace`.
         """
-        plan = self._plan(
-            algorithm,
-            n_steps,
-            starts,
-            max_sampled_queries=max_sampled_queries,
-            record_latency=record_latency,
-            include_pcie=include_pcie,
-            shards=shards,
-        )
-        return self._execute(plan, parallel=parallel)
+        obs = self._observer_for(observer)
+        with use_observer(obs), obs.span(
+            "run", backend=self.backend, algorithm=algorithm.name
+        ):
+            plan = self._plan(
+                algorithm,
+                n_steps,
+                starts,
+                max_sampled_queries=max_sampled_queries,
+                record_latency=record_latency,
+                include_pcie=include_pcie,
+                shards=shards,
+                trace=trace,
+            )
+            return self._execute(plan, parallel=parallel)
 
     def run_restart(
         self,
@@ -227,6 +271,7 @@ class LightRW:
         include_pcie: bool = True,
         shards: int = 1,
         parallel: bool = False,
+        observer: Observer | None = None,
     ) -> RunResult:
         """Random walk with restart (personalized PageRank) on the model.
 
@@ -237,19 +282,27 @@ class LightRW:
         """
         from repro.walks.ppr import RestartWalk
 
-        plan = self._plan(
-            RestartWalk(alpha),
-            n_steps,
-            starts,
-            max_sampled_queries=max_sampled_queries,
-            record_latency=True,
-            include_pcie=include_pcie,
-            shards=shards,
-            restart_alpha=alpha,
-        )
-        return self._execute(plan, parallel=parallel)
+        obs = self._observer_for(observer)
+        with use_observer(obs), obs.span(
+            "run", backend=self.backend, algorithm="restart"
+        ):
+            plan = self._plan(
+                RestartWalk(alpha),
+                n_steps,
+                starts,
+                max_sampled_queries=max_sampled_queries,
+                record_latency=True,
+                include_pcie=include_pcie,
+                shards=shards,
+                restart_alpha=alpha,
+            )
+            return self._execute(plan, parallel=parallel)
 
     # -- runtime plumbing ----------------------------------------------------
+
+    def _observer_for(self, observer: Observer | None) -> Observer:
+        """Per-run observer, falling back to engine-level then ambient."""
+        return observer or self.observer or current_observer()
 
     def _plan(
         self,
@@ -262,6 +315,7 @@ class LightRW:
         include_pcie: bool,
         shards: int,
         restart_alpha: float | None = None,
+        trace: bool = False,
     ) -> ExecutionPlan:
         if starts is None:
             starts = make_queries(self.graph, seed=self.seed)
@@ -276,6 +330,7 @@ class LightRW:
             shards=shards,
             restart_alpha=restart_alpha,
             seed=self.seed,
+            trace=trace,
         )
 
     def _execute(self, plan: ExecutionPlan, parallel: bool = False) -> RunResult:
@@ -289,7 +344,7 @@ class LightRW:
             pcie_s = self.pcie.round_trip_s(
                 self.graph, plan.total_queries, report.total_steps
             )
-        return RunResult(
+        result = RunResult(
             backend=self.backend,
             algorithm=plan.algorithm.name,
             num_queries=plan.total_queries,
@@ -302,4 +357,18 @@ class LightRW:
             breakdown=report.breakdown,
             session=report.session,
             query_latency_s=report.query_latency_s,
+            manifest=build_manifest(
+                plan,
+                seed=self.seed,
+                config=self.config,
+                graph_name=getattr(self.graph, "name", "") or "",
+            ),
         )
+        obs = current_observer()
+        if obs.enabled:
+            record_run(obs.metrics, result)
+        logger.debug(
+            "%s run complete: %d queries, %d steps, kernel %.3g s",
+            self.backend, result.num_queries, result.total_steps, result.kernel_s,
+        )
+        return result

@@ -37,16 +37,21 @@ from repro.walks.base import WalkAlgorithm
 
 @dataclass
 class InstanceStats:
-    """Per-instance counters after a run."""
+    """Per-instance counters after a run.
 
-    cycles: int
-    dram_busy_cycles: int
-    dram_bytes: int
-    dram_requests: int
-    cache_hits: int
-    cache_misses: int
-    bytes_valid: int
-    bytes_loaded: int
+    Every counter defaults to zero so an idle instance is
+    ``InstanceStats()`` — construct by keyword, so adding a counter can
+    never silently shift the meaning of positional zeros.
+    """
+
+    cycles: int = 0
+    dram_busy_cycles: int = 0
+    dram_bytes: int = 0
+    dram_requests: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    bytes_valid: int = 0
+    bytes_loaded: int = 0
     #: Busy cycles per pipeline module (module name -> cycles doing work).
     module_busy: dict[str, int] = field(default_factory=dict)
 
@@ -258,7 +263,7 @@ class LightRWAcceleratorSim:
         for inst in range(self.config.n_instances):
             mask = query_ids % self.config.n_instances == inst
             if not np.any(mask):
-                stats.append(InstanceStats(0, 0, 0, 0, 0, 0, 0, 0))
+                stats.append(InstanceStats())
                 continue
             instance = _Instance(
                 self.graph,

@@ -25,10 +25,14 @@ This module provides:
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 def _check_capacity(capacity: int) -> None:
@@ -36,7 +40,57 @@ def _check_capacity(capacity: int) -> None:
         raise ConfigError(f"cache capacity must be a power of two, got {capacity}")
 
 
-class DegreeAwareCache:
+class CacheStatsMixin:
+    """Shared hit/miss accounting for every cache policy.
+
+    Subclasses call :meth:`record_hit` / :meth:`record_miss` from their
+    ``access`` method; the derived ratios and the metrics-registry bridge
+    (:meth:`publish`) then come for free and stay consistent across
+    policies.
+    """
+
+    name = "cache"
+
+    def _init_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def record_hit(self) -> bool:
+        self.hits += 1
+        return True
+
+    def record_miss(self) -> bool:
+        self.misses += 1
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def publish(self, metrics: "MetricsRegistry", **labels: object) -> None:
+        """Feed this cache's counters into a metrics registry.
+
+        Series use the DAC slot's documented names (``dac.*``) with a
+        ``policy`` label distinguishing the ablation policies.
+        """
+        labels = dict(labels, policy=self.name)
+        metrics.counter("dac.accesses", **labels).inc(self.accesses)
+        metrics.counter("dac.hits", **labels).inc(self.hits)
+        metrics.counter("dac.misses", **labels).inc(self.misses)
+        metrics.gauge("dac.hit_ratio", **labels).set(self.hit_ratio)
+
+
+class DegreeAwareCache(CacheStatsMixin):
     """Stateful direct-mapped degree-aware cache (paper Figure 5)."""
 
     name = "degree-aware"
@@ -47,28 +101,20 @@ class DegreeAwareCache:
         self._mask = capacity - 1
         self._vertex = np.full(capacity, -1, dtype=np.int64)
         self._degree = np.full(capacity, -1, dtype=np.int64)
-        self.hits = 0
-        self.misses = 0
+        self._init_stats()
 
     def access(self, vertex: int, degree: int) -> bool:
         """Look up ``vertex``; on miss, replace only if ``degree`` is higher."""
         line = vertex & self._mask
         if self._vertex[line] == vertex:
-            self.hits += 1
-            return True
-        self.misses += 1
+            return self.record_hit()
         if degree > self._degree[line]:
             self._vertex[line] = vertex
             self._degree[line] = degree
-        return False
-
-    @property
-    def miss_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.misses / total if total else 0.0
+        return self.record_miss()
 
 
-class DirectMappedCache:
+class DirectMappedCache(CacheStatsMixin):
     """Stateful direct-mapped always-replace cache (the DMC baseline)."""
 
     name = "direct-mapped"
@@ -78,25 +124,17 @@ class DirectMappedCache:
         self.capacity = capacity
         self._mask = capacity - 1
         self._vertex = np.full(capacity, -1, dtype=np.int64)
-        self.hits = 0
-        self.misses = 0
+        self._init_stats()
 
     def access(self, vertex: int, degree: int = 0) -> bool:
         line = vertex & self._mask
         if self._vertex[line] == vertex:
-            self.hits += 1
-            return True
-        self.misses += 1
+            return self.record_hit()
         self._vertex[line] = vertex
-        return False
-
-    @property
-    def miss_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.misses / total if total else 0.0
+        return self.record_miss()
 
 
-class _SetAssociativeCache:
+class _SetAssociativeCache(CacheStatsMixin):
     """Shared machinery for the recency-policy ablation caches."""
 
     def __init__(self, capacity: int, ways: int) -> None:
@@ -109,28 +147,20 @@ class _SetAssociativeCache:
         self._sets: list[OrderedDict[int, None]] = [
             OrderedDict() for _ in range(self.n_sets)
         ]
-        self.hits = 0
-        self.misses = 0
+        self._init_stats()
 
     _promote_on_hit = True
 
     def access(self, vertex: int, degree: int = 0) -> bool:
         entries = self._sets[vertex % self.n_sets]
         if vertex in entries:
-            self.hits += 1
             if self._promote_on_hit:
                 entries.move_to_end(vertex)
-            return True
-        self.misses += 1
+            return self.record_hit()
         if len(entries) >= self.ways:
             entries.popitem(last=False)
         entries[vertex] = None
-        return False
-
-    @property
-    def miss_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.misses / total if total else 0.0
+        return self.record_miss()
 
 
 class LRUCache(_SetAssociativeCache):

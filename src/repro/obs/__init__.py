@@ -1,0 +1,91 @@
+"""Backend-agnostic observability: metrics, spans, manifests, exporters.
+
+The runtime spine (planner -> batch scheduler -> backends) is
+instrumented with this package:
+
+* :class:`MetricsRegistry` — labeled counters, gauges and histograms
+  (``dac.hits{backend=fpga-model,shard=2}``); the adapters translate each
+  backend's native stats objects into the stable schema documented in
+  ``docs/observability.md``.
+* :func:`span` / :class:`Observer` — wall-clock span tracing with
+  parent/child nesting around planning, per-shard execution and backend
+  kernel phases.
+* :mod:`repro.obs.export` — JSONL run records, Prometheus text and a
+  Chrome trace-event (``chrome://tracing`` / Perfetto) converter that
+  also serializes the cycle simulator's pipeline events.
+* :class:`RunManifest` — provenance (seed, backend, plan, config hash,
+  version, host) attached to every :class:`~repro.core.api.RunResult`.
+
+Collection is opt-in and the disabled path is a no-op::
+
+    from repro import LightRW, Node2VecWalk
+    from repro.obs import Observer
+
+    obs = Observer()
+    result = engine.run(Node2VecWalk(p=2, q=0.5), 80, observer=obs)
+    obs.metrics.get("dac.hit_ratio", backend="fpga-model")
+"""
+
+from repro.obs.adapters import record_run, record_shard
+from repro.obs.export import (
+    append_jsonl,
+    chrome_trace,
+    prometheus_text,
+    read_jsonl,
+    run_record,
+    summarize_records,
+    write_chrome_trace,
+)
+from repro.obs.logsetup import LOG_LEVELS, configure_logging
+from repro.obs.manifest import RunManifest, build_manifest, config_fingerprint
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+    series_key,
+)
+from repro.obs.spans import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    SpanRecord,
+    SpanRecorder,
+    current_observer,
+    span,
+    use_observer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "NULL_REGISTRY",
+    "NullMetricsRegistry",
+    "NullObserver",
+    "Observer",
+    "RunManifest",
+    "SpanRecord",
+    "SpanRecorder",
+    "append_jsonl",
+    "build_manifest",
+    "chrome_trace",
+    "config_fingerprint",
+    "configure_logging",
+    "current_observer",
+    "prometheus_text",
+    "read_jsonl",
+    "record_run",
+    "record_shard",
+    "run_record",
+    "series_key",
+    "span",
+    "summarize_records",
+    "use_observer",
+    "write_chrome_trace",
+]

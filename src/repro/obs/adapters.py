@@ -1,0 +1,189 @@
+"""Adapters: backend-native stats objects -> the shared metrics registry.
+
+Each backend family already measures the paper's architectural
+quantities in its own native breakdown object (the analytic model's
+``FPGATimeBreakdown``, the cycle simulator's ``CycleSimResult`` /
+``InstanceStats``, the CPU baseline's ``CPUTimeBreakdown``).  These
+functions translate them into the registry under the **stable metric
+names** documented in ``docs/observability.md``, so one schema covers
+every backend:
+
+================================  =============================================
+series                            source (paper reference)
+================================  =============================================
+``dac.accesses/hits/misses``      degree-aware cache (Figure 11)
+``dyb.bytes_valid/bytes_loaded``  dynamic burst engine (Figures 6/12)
+``dram.bytes_read/requests``      DRAM channel traffic (Figure 6)
+``pipeline.busy_cycles``          per-module activity (Figure 13)
+``time.component_seconds``        :meth:`TimingBreakdown.components`
+``cpu.llc_miss_ratio`` etc.       top-down profile (Table 1)
+``run.*`` / ``query.*``           end-to-end figures (Figures 14/15)
+================================  =============================================
+
+Dispatch is duck-typed on the native object's attributes, so this module
+depends on no backend package and custom backends participate by
+exposing the same attribute names (or by writing to the registry
+directly).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.api import RunResult
+    from repro.runtime.timing import TimingBreakdown
+
+__all__ = ["record_shard", "record_run"]
+
+
+def _family(native: Any) -> str:
+    """Classify a backend-native stats object by its attribute surface."""
+    if native is None:
+        return "unknown"
+    if hasattr(native, "instances"):
+        return "fpga-cycle"
+    if hasattr(native, "cache_accesses") and hasattr(native, "mem_cycles"):
+        return "fpga-model"
+    if hasattr(native, "llc_miss_ratio") and hasattr(native, "seq_time_s"):
+        return "cpu"
+    return "unknown"
+
+
+# -- per-shard counters -------------------------------------------------------
+
+
+def record_shard(
+    metrics: MetricsRegistry,
+    breakdown: "TimingBreakdown",
+    *,
+    backend: str,
+    shard: int,
+) -> None:
+    """Record one shard's counters, labeled ``{backend=..., shard=...}``."""
+    for component, seconds in breakdown.components().items():
+        metrics.counter(
+            "time.component_seconds", backend=backend, shard=shard,
+            component=component,
+        ).inc(seconds)
+    native = breakdown.detail
+    family = _family(native)
+    if family == "fpga-model":
+        _record_model_shard(metrics, native, backend, shard)
+    elif family == "fpga-cycle":
+        _record_cycle_shard(metrics, native, backend, shard)
+    elif family == "cpu":
+        _record_cpu_shard(metrics, native, backend, shard)
+
+
+def _record_model_shard(
+    metrics: MetricsRegistry, native: Any, backend: str, shard: int
+) -> None:
+    labels = {"backend": backend, "shard": shard}
+    metrics.counter("dac.accesses", **labels).inc(native.cache_accesses)
+    metrics.counter("dac.hits", **labels).inc(native.cache_hits)
+    metrics.counter("dac.misses", **labels).inc(
+        native.cache_accesses - native.cache_hits
+    )
+    metrics.counter("dyb.bytes_valid", **labels).inc(native.bytes_valid)
+    metrics.counter("dyb.bytes_loaded", **labels).inc(native.bytes_loaded)
+    metrics.counter("dram.bytes_read", **labels).inc(native.bytes_loaded)
+
+
+def _record_cycle_shard(
+    metrics: MetricsRegistry, native: Any, backend: str, shard: int
+) -> None:
+    for index, stats in enumerate(native.instances):
+        labels = {"backend": backend, "shard": shard, "instance": index}
+        metrics.counter("dac.accesses", **labels).inc(
+            stats.cache_hits + stats.cache_misses
+        )
+        metrics.counter("dac.hits", **labels).inc(stats.cache_hits)
+        metrics.counter("dac.misses", **labels).inc(stats.cache_misses)
+        metrics.counter("dyb.bytes_valid", **labels).inc(stats.bytes_valid)
+        metrics.counter("dyb.bytes_loaded", **labels).inc(stats.bytes_loaded)
+        metrics.counter("dram.bytes_read", **labels).inc(stats.dram_bytes)
+        metrics.counter("dram.requests", **labels).inc(stats.dram_requests)
+        metrics.counter("dram.busy_cycles", **labels).inc(stats.dram_busy_cycles)
+        for module, busy in stats.module_busy.items():
+            metrics.counter(
+                "pipeline.busy_cycles", module=module, **labels
+            ).inc(busy)
+
+
+def _record_cpu_shard(
+    metrics: MetricsRegistry, native: Any, backend: str, shard: int
+) -> None:
+    labels = {"backend": backend, "shard": shard}
+    metrics.counter("cpu.memory_seconds", **labels).inc(native.memory_time_s)
+    metrics.counter("cpu.instr_seconds", **labels).inc(native.instr_time_s)
+
+
+# -- batch-level gauges and distributions -------------------------------------
+
+
+def record_run(metrics: MetricsRegistry, result: "RunResult") -> None:
+    """Record the merged run's ratio/throughput gauges and latency histogram.
+
+    Per-shard event *counts* are recorded by :func:`record_shard`; this
+    records the derived quantities that only make sense over the whole
+    batch, labeled ``{backend=...}``.
+    """
+    backend = result.backend
+    metrics.gauge("run.kernel_seconds", backend=backend).set(result.kernel_s)
+    metrics.gauge("run.setup_seconds", backend=backend).set(result.setup_s)
+    metrics.gauge("run.pcie_seconds", backend=backend).set(result.pcie_s)
+    metrics.gauge("run.steps_per_second", backend=backend).set(
+        result.steps_per_second
+    )
+    metrics.counter("run.total_steps", backend=backend).inc(result.total_steps)
+    metrics.counter("run.queries", backend=backend).inc(result.num_queries)
+    if result.query_latency_s is not None:
+        metrics.histogram(
+            "query.latency_seconds", backend=backend
+        ).observe_many(result.query_latency_s.tolist())
+
+    native = result.breakdown.detail
+    family = _family(native)
+    if family == "fpga-model":
+        metrics.gauge("dac.hit_ratio", backend=backend).set(native.cache_hit_ratio)
+        metrics.gauge("dyb.valid_ratio", backend=backend).set(native.valid_ratio)
+        metrics.gauge("dram.bandwidth_gbps", backend=backend).set(
+            native.achieved_bandwidth_gbps
+        )
+        kernel = max(native.kernel_cycles, 1.0)
+        denom = kernel * max(len(native.mem_cycles), 1)
+        for module, cycles in (
+            ("memory", float(native.mem_cycles.sum())),
+            ("sampler", float(native.sampler_cycles.sum())),
+            ("controller", float(native.controller_cycles.sum())),
+        ):
+            metrics.gauge(
+                "pipeline.busy_fraction", backend=backend, module=module
+            ).set(cycles / denom)
+    elif family == "fpga-cycle":
+        hits = sum(s.cache_hits for s in native.instances)
+        misses = sum(s.cache_misses for s in native.instances)
+        valid = sum(s.bytes_valid for s in native.instances)
+        loaded = sum(s.bytes_loaded for s in native.instances)
+        metrics.gauge("dac.hit_ratio", backend=backend).set(
+            hits / (hits + misses) if hits + misses else 0.0
+        )
+        metrics.gauge("dyb.valid_ratio", backend=backend).set(
+            valid / loaded if loaded else 1.0
+        )
+        for module, fraction in native.utilization_report().items():
+            metrics.gauge(
+                "pipeline.busy_fraction", backend=backend, module=module
+            ).set(fraction)
+    elif family == "cpu":
+        from repro.cpu.profiling import profile_session
+
+        profile = profile_session(native, application=result.algorithm, graph_name="")
+        metrics.gauge("cpu.llc_miss_ratio", backend=backend).set(
+            profile.llc_miss_ratio
+        )
+        metrics.gauge("cpu.memory_bound", backend=backend).set(profile.memory_bound)
+        metrics.gauge("cpu.retiring", backend=backend).set(profile.retiring)

@@ -1,0 +1,28 @@
+"""Structured logging wiring for the CLI entry points.
+
+The library modules log through standard per-module loggers
+(``logging.getLogger(__name__)``) and never configure handlers —
+embedding applications keep full control.  The CLIs call
+:func:`configure_logging` once, driven by their ``--log-level`` flag.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["configure_logging", "LOG_LEVELS"]
+
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def configure_logging(level: str | None) -> None:
+    """Install a root handler at ``level`` (no-op when ``level`` is None)."""
+    if level is None:
+        return
+    if level.lower() not in LOG_LEVELS:
+        raise ValueError(f"log level must be one of {LOG_LEVELS}, got {level!r}")
+    logging.basicConfig(
+        level=getattr(logging, level.upper()), format=_FORMAT, force=True
+    )

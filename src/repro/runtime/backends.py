@@ -40,6 +40,7 @@ import numpy as np
 from repro.cpu.costmodel import CPUSpec
 from repro.errors import ConfigError
 from repro.fpga.config import LightRWConfig
+from repro.obs import span
 from repro.graph.csr import CSRGraph
 from repro.runtime.timing import (
     CPUBaselineBreakdown,
@@ -273,34 +274,36 @@ class FPGAModelBackend(Backend):
         from repro.walks.stepper import PWRSSampler, run_walks
 
         ctx = self.context
-        if plan.restart_alpha is not None:
-            from repro.walks.ppr import run_restart_walks
+        with span("walk", backend=self.name):
+            if plan.restart_alpha is not None:
+                from repro.walks.ppr import run_restart_walks
 
-            session = run_restart_walks(
-                ctx.graph,
-                shard.starts,
-                plan.n_steps,
-                alpha=plan.restart_alpha,
-                k=ctx.config.k,
-                seed=ctx.seed,
-                query_ids=shard.query_ids(),
+                session = run_restart_walks(
+                    ctx.graph,
+                    shard.starts,
+                    plan.n_steps,
+                    alpha=plan.restart_alpha,
+                    k=ctx.config.k,
+                    seed=ctx.seed,
+                    query_ids=shard.query_ids(),
+                )
+            else:
+                sampler = PWRSSampler(k=ctx.config.k, seed=ctx.seed)
+                session = run_walks(
+                    ctx.graph,
+                    shard.starts,
+                    plan.n_steps,
+                    plan.algorithm,
+                    sampler,
+                    query_ids=shard.query_ids(),
+                )
+        with span("perf-model", backend=self.name):
+            model = FPGAPerfModel(ctx.config, plan.algorithm)
+            native = model.evaluate(
+                session,
+                total_queries=shard.total_queries,
+                record_latency=plan.record_latency,
             )
-        else:
-            sampler = PWRSSampler(k=ctx.config.k, seed=ctx.seed)
-            session = run_walks(
-                ctx.graph,
-                shard.starts,
-                plan.n_steps,
-                plan.algorithm,
-                sampler,
-                query_ids=shard.query_ids(),
-            )
-        model = FPGAPerfModel(ctx.config, plan.algorithm)
-        native = model.evaluate(
-            session,
-            total_queries=shard.total_queries,
-            record_latency=plan.record_latency,
-        )
         return BackendReport(
             backend=self.name,
             paths=session.paths,
@@ -347,13 +350,17 @@ class FPGACycleBackend(Backend):
         from repro.fpga.accelerator import LightRWAcceleratorSim
 
         ctx = self.context
-        sim = LightRWAcceleratorSim(ctx.graph, ctx.config, plan.algorithm, seed=ctx.seed)
-        result = sim.run(
-            shard.starts,
-            plan.n_steps,
-            max_cycles=plan.max_cycles,
-            query_ids=shard.query_ids(),
-        )
+        with span("cycle-sim", backend=self.name):
+            sim = LightRWAcceleratorSim(
+                ctx.graph, ctx.config, plan.algorithm, seed=ctx.seed
+            )
+            result = sim.run(
+                shard.starts,
+                plan.n_steps,
+                max_cycles=plan.max_cycles,
+                trace=plan.trace,
+                query_ids=shard.query_ids(),
+            )
         n_queries = shard.num_queries
         max_len = max((len(p) for p in result.paths.values()), default=1)
         paths = np.full((n_queries, max_len), -1, dtype=np.int64)
@@ -412,14 +419,15 @@ class CPUBaselineBackend(Backend):
         from repro.cpu.engine import ThunderRWEngine
 
         ctx = self.context
-        engine = ThunderRWEngine(ctx.graph, spec=ctx.cpu_spec, seed=ctx.seed)
-        result = engine.run(
-            shard.starts,
-            plan.n_steps,
-            plan.algorithm,
-            total_queries=shard.total_queries,
-            query_ids=shard.query_ids(),
-        )
+        with span("cpu-engine", backend=self.name):
+            engine = ThunderRWEngine(ctx.graph, spec=ctx.cpu_spec, seed=ctx.seed)
+            result = engine.run(
+                shard.starts,
+                plan.n_steps,
+                plan.algorithm,
+                total_queries=shard.total_queries,
+                query_ids=shard.query_ids(),
+            )
         timing = result.timing
         session = result.session
         return BackendReport(

@@ -17,14 +17,18 @@ a query's walk does not depend on which shard executed it.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.queries import sample_queries
 from repro.errors import ConfigError
+from repro.obs import span
 from repro.runtime.backends import resolve_backend
 from repro.walks.base import WalkAlgorithm
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -68,6 +72,9 @@ class ExecutionPlan:
     restart_alpha: float | None = None
     #: Cycle budget forwarded to the cycle-accurate simulator.
     max_cycles: int = 50_000_000
+    #: Record pipeline events on backends that support it (``fpga-cycle``);
+    #: the Chrome-trace exporter serializes them alongside runtime spans.
+    trace: bool = False
 
     @property
     def num_sampled(self) -> int:
@@ -112,47 +119,55 @@ def plan_run(
     restart_alpha: float | None = None,
     max_cycles: int = 50_000_000,
     seed: int = 0,
+    trace: bool = False,
 ) -> ExecutionPlan:
     """Validate a run request and lay out its execution.
 
     Raises :class:`ConfigError` early — before any walk or simulation
     starts — when the request exceeds what the backend declares it can do.
     """
-    backend_cls = resolve_backend(backend)
-    caps = backend_cls.capabilities
-    starts = np.asarray(starts, dtype=np.int64)
+    with span("plan", backend=backend, algorithm=algorithm.name):
+        backend_cls = resolve_backend(backend)
+        caps = backend_cls.capabilities
+        starts = np.asarray(starts, dtype=np.int64)
 
-    if shards < 1:
-        raise ConfigError(f"shards must be >= 1, got {shards}")
-    if restart_alpha is not None and not caps.supports_restart:
-        raise ConfigError(
-            f"restart walks are supported on the fpga-model backend, "
-            f"not {backend!r}"
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        if restart_alpha is not None and not caps.supports_restart:
+            raise ConfigError(
+                f"restart walks are supported on the fpga-model backend, "
+                f"not {backend!r}"
+            )
+
+        if caps.supports_query_sampling:
+            sampled, total = sample_queries(starts, max_sampled_queries, seed=seed)
+        else:
+            sampled, total = starts, int(starts.size)
+
+        if caps.max_batch_queries is not None and sampled.size > caps.max_batch_queries:
+            raise ConfigError(
+                f"backend {backend!r} walks every query it is given and is "
+                f"capped at {caps.max_batch_queries} queries per batch; got "
+                f"{sampled.size}. Subsample the batch (max_sampled_queries) or "
+                f"use the 'fpga-model' backend, which extrapolates from a sample."
+            )
+
+        shard_count = min(shards, max(sampled.size, 1))
+        plan = ExecutionPlan(
+            backend=backend,
+            algorithm=algorithm,
+            n_steps=n_steps,
+            starts=sampled,
+            total_queries=total,
+            shards=_partition(sampled, total, shard_count),
+            record_latency=record_latency,
+            include_pcie=include_pcie,
+            restart_alpha=restart_alpha,
+            max_cycles=max_cycles,
+            trace=trace,
         )
-
-    if caps.supports_query_sampling:
-        sampled, total = sample_queries(starts, max_sampled_queries, seed=seed)
-    else:
-        sampled, total = starts, int(starts.size)
-
-    if caps.max_batch_queries is not None and sampled.size > caps.max_batch_queries:
-        raise ConfigError(
-            f"backend {backend!r} walks every query it is given and is "
-            f"capped at {caps.max_batch_queries} queries per batch; got "
-            f"{sampled.size}. Subsample the batch (max_sampled_queries) or "
-            f"use the 'fpga-model' backend, which extrapolates from a sample."
+        logger.debug(
+            "planned %s run: %d queries (%d sampled) x %d steps in %d shard(s)",
+            backend, total, plan.num_sampled, n_steps, plan.shard_count,
         )
-
-    shard_count = min(shards, max(sampled.size, 1))
-    return ExecutionPlan(
-        backend=backend,
-        algorithm=algorithm,
-        n_steps=n_steps,
-        starts=sampled,
-        total_queries=total,
-        shards=_partition(sampled, total, shard_count),
-        record_latency=record_latency,
-        include_pcie=include_pcie,
-        restart_alpha=restart_alpha,
-        max_cycles=max_cycles,
-    )
+        return plan

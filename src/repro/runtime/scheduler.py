@@ -11,12 +11,16 @@ scheduling.
 
 from __future__ import annotations
 
+import logging
 import os
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
+from repro.obs import current_observer, record_shard, use_observer
 from repro.runtime.backends import Backend, BackendReport
-from repro.runtime.plan import ExecutionPlan
+from repro.runtime.plan import ExecutionPlan, QueryShard
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -41,18 +45,42 @@ class BatchScheduler:
         shards = plan.shards
         if not shards:
             raise ValueError("plan has no shards to execute")
+        obs = current_observer()
+
+        def run_shard(shard: QueryShard) -> BackendReport:
+            # Worker threads start with a fresh context, so re-install the
+            # observer; spans opened by the backend then nest under the
+            # shard span on this thread's own track.
+            with use_observer(obs), obs.span(
+                "shard", backend=backend.name, shard=shard.index,
+                queries=shard.num_queries,
+            ):
+                report = backend.execute(plan, shard)
+            if obs.enabled:
+                record_shard(
+                    obs.metrics, report.breakdown,
+                    backend=backend.name, shard=shard.index,
+                )
+            return report
+
         use_pool = (
             self.parallel and len(shards) > 1 and backend.capabilities.thread_safe
         )
         if use_pool:
             workers = self.max_workers or min(len(shards), os.cpu_count() or 1)
+            logger.debug(
+                "executing %d shard(s) on %s via %d worker(s)",
+                len(shards), backend.name, workers,
+            )
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                reports = list(
-                    pool.map(lambda shard: backend.execute(plan, shard), shards)
-                )
+                reports = list(pool.map(run_shard, shards))
         else:
-            reports = [backend.execute(plan, shard) for shard in shards]
-        return backend.merge(plan, reports)
+            logger.debug(
+                "executing %d shard(s) on %s sequentially", len(shards), backend.name
+            )
+            reports = [run_shard(shard) for shard in shards]
+        with obs.span("merge", backend=backend.name, shards=len(reports)):
+            return backend.merge(plan, reports)
 
 
 def run_plan(

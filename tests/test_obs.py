@@ -1,0 +1,378 @@
+"""The unified telemetry layer: registry, spans, manifests, exporters."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.core.api import LightRW
+from repro.fpga.cache import DegreeAwareCache, FIFOCache
+from repro.obs import (
+    NULL_OBSERVER,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    Observer,
+    RunManifest,
+    append_jsonl,
+    chrome_trace,
+    config_fingerprint,
+    current_observer,
+    prometheus_text,
+    read_jsonl,
+    run_record,
+    series_key,
+    span,
+    summarize_records,
+    use_observer,
+)
+from repro.obs.export import prometheus_from_snapshot
+from repro.walks.uniform import UniformWalk
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.counter("dac.hits", shard=0).inc(3)
+        reg.counter("dac.hits", shard=0).inc(2)
+        reg.counter("dac.hits", shard=1).inc(10)
+        assert reg.get("dac.hits", shard=0) == 5
+        assert reg.get("dac.hits", shard=1) == 10
+        assert reg.total("dac.hits") == 15
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("n").inc(-1)
+
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("dac.hit_ratio", backend="fpga-model").set(0.2)
+        reg.gauge("dac.hit_ratio", backend="fpga-model").set(0.8)
+        assert reg.get("dac.hit_ratio", backend="fpga-model") == 0.8
+
+    def test_histogram_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(1.0, 10.0))
+        hist.observe_many([0.5, 5.0, 50.0])
+        snap = reg.snapshot()[series_key("lat")]
+        assert snap["kind"] == "histogram"
+        assert snap["counts"] == [1, 1, 1]
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(55.5)
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_series_key_sorts_labels(self):
+        assert series_key("m", {"b": 1, "a": 2}) == "m{a=2,b=1}"
+        assert series_key("m") == "m"
+
+    def test_snapshot_round_trips_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c", backend="fpga-model").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(0.01)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c{backend=fpga-model}"] == 1
+        assert snap["g"] == 1.5
+        assert len(reg) == 3
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("x", shard=1).inc(5)
+        NULL_REGISTRY.gauge("y").set(2.0)
+        NULL_REGISTRY.histogram("z").observe(1.0)
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.snapshot() == {}
+
+
+class TestSpans:
+    def test_nesting_records_parents(self):
+        obs = Observer()
+        with obs.span("run", backend="fpga-model"):
+            with obs.span("plan"):
+                pass
+            with obs.span("shard", shard=0):
+                pass
+        records = obs.spans.finished()
+        assert [r.name for r in records] == ["plan", "shard", "run"]
+        run = obs.spans.find("run")[0]
+        assert run.parent_id is None
+        assert {c.name for c in obs.spans.children(run)} == {"plan", "shard"}
+        assert run.attrs == {"backend": "fpga-model"}
+        assert all(r.duration_s >= 0 for r in records)
+        assert run.end_s >= run.start_s
+
+    def test_module_level_span_uses_ambient_observer(self):
+        obs = Observer()
+        with use_observer(obs):
+            with span("work", k=1):
+                pass
+        assert current_observer() is NULL_OBSERVER
+        assert obs.spans.find("work")[0].attrs == {"k": 1}
+
+    def test_null_observer_span_is_noop(self):
+        with span("ignored"):
+            pass
+        assert not NULL_OBSERVER.enabled
+        assert len(NULL_OBSERVER.spans) == 0
+
+    def test_threads_get_independent_stacks(self):
+        obs = Observer()
+
+        def worker(i: int) -> None:
+            with use_observer(obs), obs.span("thread-root", i=i):
+                with obs.span("inner", i=i):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        with obs.span("main-root"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        roots = obs.spans.find("thread-root")
+        assert len(roots) == 4
+        # Worker roots must not be parented under the main thread's span.
+        assert all(r.parent_id is None for r in roots)
+        for inner in obs.spans.find("inner"):
+            parent = [r for r in roots if r.span_id == inner.parent_id]
+            assert parent and parent[0].attrs == inner.attrs
+
+
+class TestManifest:
+    def test_fingerprint_stable_and_sensitive(self):
+        from repro.fpga.config import LightRWConfig
+
+        base = LightRWConfig()
+        assert config_fingerprint(base) == config_fingerprint(LightRWConfig())
+        assert config_fingerprint(base) != config_fingerprint(
+            LightRWConfig(n_instances=2)
+        )
+        assert len(config_fingerprint(base)) == 12
+
+    def test_attached_to_every_result(self, labeled_graph):
+        engine = LightRW(labeled_graph, hardware_scale=64, seed=3)
+        result = engine.run(UniformWalk(), 4, max_sampled_queries=16)
+        manifest = result.manifest
+        assert isinstance(manifest, RunManifest)
+        assert manifest.backend == "fpga-model"
+        assert manifest.algorithm == "uniform"
+        assert manifest.n_steps == 4
+        assert manifest.seed == 3
+        assert manifest.graph == "labeled"
+        assert manifest.package_version
+        assert manifest.config_hash
+        payload = json.dumps(manifest.as_dict())
+        assert "fpga-model" in payload
+
+
+class TestBackendMetrics:
+    """One public-API run per backend family yields the paper's counters."""
+
+    def run_with_observer(self, graph, backend, **engine_kwargs):
+        obs = Observer()
+        engine = LightRW(
+            graph, backend=backend, hardware_scale=64, seed=2, **engine_kwargs
+        )
+        result = engine.run(
+            UniformWalk(), 4, max_sampled_queries=16, observer=obs
+        )
+        return result, obs.metrics
+
+    def test_fpga_model_series(self, labeled_graph):
+        __, metrics = self.run_with_observer(labeled_graph, "fpga-model")
+        assert 0 <= metrics.get("dac.hit_ratio", backend="fpga-model") <= 1
+        assert 0 < metrics.get("dyb.valid_ratio", backend="fpga-model") <= 1
+        assert metrics.get("dram.bandwidth_gbps", backend="fpga-model") > 0
+        assert metrics.total("dram.bytes_read") > 0
+        assert metrics.total("run.total_steps") > 0
+        assert metrics.get("run.kernel_seconds", backend="fpga-model") > 0
+
+    def test_fpga_cycle_series(self, labeled_graph):
+        __, metrics = self.run_with_observer(labeled_graph, "fpga-cycle")
+        assert 0 <= metrics.get("dac.hit_ratio", backend="fpga-cycle") <= 1
+        assert 0 < metrics.get("dyb.valid_ratio", backend="fpga-cycle") <= 1
+        assert metrics.total("dac.accesses") == metrics.total(
+            "dac.hits"
+        ) + metrics.total("dac.misses")
+        busy = [
+            s
+            for s in metrics.series()
+            if s.name == "pipeline.busy_fraction" and "module" in s.labels
+        ]
+        assert {s.labels["module"] for s in busy} >= {
+            "controller",
+            "wrs-sampler",
+        }
+
+    def test_cpu_baseline_series(self, labeled_graph):
+        __, metrics = self.run_with_observer(labeled_graph, "cpu-baseline")
+        assert 0 <= metrics.get("cpu.llc_miss_ratio", backend="cpu-baseline") <= 1
+        bound = metrics.get("cpu.memory_bound", backend="cpu-baseline")
+        retiring = metrics.get("cpu.retiring", backend="cpu-baseline")
+        assert bound is not None and retiring is not None
+        assert metrics.total("time.component_seconds") > 0
+
+    def test_sharded_runs_label_per_shard(self, labeled_graph):
+        obs = Observer()
+        engine = LightRW(labeled_graph, hardware_scale=64, seed=2)
+        engine.run(
+            UniformWalk(), 4, max_sampled_queries=32, shards=2, observer=obs
+        )
+        shards = {
+            s.labels.get("shard")
+            for s in obs.metrics.series()
+            if s.name == "dram.bytes_read"
+        }
+        assert shards == {0, 1}
+        # Per-shard spans nest under the run span.
+        run = obs.spans.find("run")[0]
+        shard_spans = obs.spans.find("shard")
+        assert len(shard_spans) == 2
+        assert {s.parent_id for s in shard_spans} <= {
+            run.span_id,
+            obs.spans.find("merge")[0].parent_id,
+        }
+
+    def test_off_by_default_records_nothing(self, labeled_graph):
+        engine = LightRW(labeled_graph, hardware_scale=64, seed=2)
+        result = engine.run(UniformWalk(), 4, max_sampled_queries=16)
+        # No observer anywhere: ambient is the shared null sink.
+        assert current_observer() is NULL_OBSERVER
+        assert len(NULL_OBSERVER.metrics) == 0
+        assert result.manifest is not None  # provenance is unconditional
+
+
+class TestCachePublish:
+    def test_mixin_feeds_registry(self):
+        reg = MetricsRegistry()
+        cache = DegreeAwareCache(4)
+        cache.access(1, 10)
+        cache.access(1, 10)
+        cache.access(5, 3)
+        cache.publish(reg, backend="ablation")
+        labels = {"backend": "ablation", "policy": "degree-aware"}
+        assert reg.get("dac.accesses", **labels) == 3
+        assert reg.get("dac.hits", **labels) == 1
+        assert reg.get("dac.misses", **labels) == 2
+        assert reg.get("dac.hit_ratio", **labels) == pytest.approx(1 / 3)
+
+    def test_policies_share_accounting(self):
+        reg = MetricsRegistry()
+        fifo = FIFOCache(4, ways=2)
+        for v in (1, 2, 1, 3):
+            fifo.access(v)
+        assert fifo.hits + fifo.misses == fifo.accesses == 4
+        assert fifo.hit_ratio + fifo.miss_ratio == pytest.approx(1.0)
+        fifo.publish(reg)
+        assert reg.get("dac.accesses", policy="fifo") == 4
+
+
+class TestExporters:
+    @pytest.fixture
+    def observed_run(self, labeled_graph):
+        obs = Observer()
+        engine = LightRW(labeled_graph, hardware_scale=64, seed=2)
+        result = engine.run(
+            UniformWalk(), 4, max_sampled_queries=16, observer=obs
+        )
+        return result, obs
+
+    def test_jsonl_round_trip(self, observed_run, tmp_path):
+        result, obs = observed_run
+        record = run_record(result, obs)
+        path = append_jsonl(tmp_path / "runs.jsonl", record)
+        append_jsonl(path, record)
+        records = read_jsonl(path)
+        assert len(records) == 2
+        loaded = records[0]
+        assert loaded["manifest"]["backend"] == "fpga-model"
+        assert "dac.hit_ratio{backend=fpga-model}" in loaded["metrics"]
+        assert any(s["name"] == "run" for s in loaded["spans"])
+
+    def test_summarize_is_readable(self, observed_run):
+        result, obs = observed_run
+        text = summarize_records([run_record(result, obs)])
+        assert "fpga-model" in text
+        assert "uniform" in text
+        assert "hit_ratio" in text
+
+    def test_prometheus_text(self, observed_run):
+        __, obs = observed_run
+        text = prometheus_text(obs.metrics)
+        assert "# TYPE dac_hit_ratio gauge" in text
+        assert 'dac_hit_ratio{backend="fpga-model"}' in text
+        assert "# TYPE run_total_steps counter" in text
+
+    def test_prometheus_from_snapshot_matches_names(self, observed_run):
+        __, obs = observed_run
+        text = prometheus_from_snapshot(obs.metrics.snapshot())
+        assert 'dac_hit_ratio{backend="fpga-model"}' in text
+
+    def test_chrome_trace_from_spans(self, observed_run):
+        __, obs = observed_run
+        trace = chrome_trace(spans=obs.spans.finished())
+        names = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert "run" in names and "plan" in names
+        ts = [e["ts"] for e in trace["traceEvents"] if "ts" in e]
+        assert ts == sorted(ts)
+
+
+class TestObservabilityCLI:
+    @pytest.fixture
+    def bundle(self, tmp_path):
+        path = tmp_path / "g.npz"
+        assert (
+            main(["generate", "rmat", str(path), "--vertices-log2", "7"]) == 0
+        )
+        return path
+
+    def test_walk_emits_metrics_and_trace(self, bundle, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        trace = tmp_path / "t.json"
+        assert (
+            main(
+                [
+                    "walk",
+                    str(bundle),
+                    "--algorithm",
+                    "uniform",
+                    "--length",
+                    "4",
+                    "--queries",
+                    "16",
+                    "--backend",
+                    "fpga-cycle",
+                    "--metrics",
+                    str(metrics),
+                    "--trace-out",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        records = read_jsonl(metrics)
+        assert len(records) == 1
+        assert records[0]["manifest"]["backend"] == "fpga-cycle"
+        assert any(k.startswith("dac.hit_ratio") for k in records[0]["metrics"])
+        payload = json.loads(trace.read_text())
+        assert any(e["ph"] == "i" for e in payload["traceEvents"])
+
+        assert main(["obs", "summarize", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "fpga-cycle" in out
+        assert (
+            main(["obs", "summarize", str(metrics), "--prometheus"]) == 0
+        )
+        assert "dac_hit_ratio" in capsys.readouterr().out
+
+    def test_summarize_missing_file_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["obs", "summarize", str(tmp_path / "absent.jsonl")])

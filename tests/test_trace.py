@@ -1,6 +1,8 @@
-"""Pipeline event tracing."""
+"""Pipeline event tracing and its Chrome-trace export."""
 
 from __future__ import annotations
+
+import json
 
 import numpy as np
 import pytest
@@ -8,6 +10,7 @@ import pytest
 from repro.fpga.accelerator import LightRWAcceleratorSim
 from repro.fpga.config import LightRWConfig
 from repro.fpga.sim.trace import PipelineTracer, TraceEvent
+from repro.obs import chrome_trace, write_chrome_trace
 from repro.walks.uniform import UniformWalk
 
 
@@ -117,3 +120,94 @@ class TestTracedSimulation:
         for q in range(6):
             np.testing.assert_array_equal(plain.path(q), traced.path(q))
         assert plain.cycles == traced.cycles
+
+    def test_event_filter_composes_with_module_filter(self, traced_run):
+        result, __ = traced_run
+        tracer = result.tracer
+        hits = tracer.filter(event="cache-hit")
+        # Every hit comes from an info-loader; the composed filter must be
+        # the intersection, not a union or an override.
+        per_module = [
+            tracer.filter(module=f"inst{i}.info-loader", event="cache-hit")
+            for i in range(2)
+        ]
+        assert sum(len(events) for events in per_module) == len(hits)
+        assert all(
+            e.module == "inst0.info-loader" and e.event == "cache-hit"
+            for e in per_module[0]
+        )
+        # A module that never emits the event yields nothing.
+        assert tracer.filter(module="inst0.wrs-sampler", event="cache-hit") == []
+
+
+class TestChromeTraceExport:
+    @pytest.fixture
+    def traced_run(self, labeled_graph):
+        config = LightRWConfig(n_instances=2, max_inflight=8).scaled(64)
+        starts = labeled_graph.nonzero_degree_vertices()[:10]
+        sim = LightRWAcceleratorSim(labeled_graph, config, UniformWalk(), seed=6)
+        return sim.run(starts, 4, trace=True)
+
+    def test_round_trip_is_valid_json(self, traced_run, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "trace.json",
+            tracer=traced_run.tracer,
+            cycle_result=traced_run,
+            frequency_hz=traced_run.config.frequency_hz,
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        events = loaded["traceEvents"]
+        assert events, "export produced no events"
+        for event in events:
+            assert {"name", "ph", "pid"} <= set(event)
+
+    def test_timestamps_monotonic(self, traced_run):
+        trace = chrome_trace(
+            tracer=traced_run.tracer,
+            cycle_result=traced_run,
+            frequency_hz=traced_run.config.frequency_hz,
+        )
+        ts = [e["ts"] for e in trace["traceEvents"] if "ts" in e]
+        assert ts == sorted(ts)
+        assert all(t >= 0 for t in ts)
+
+    def test_every_pipeline_module_has_a_span(self, traced_run):
+        trace = chrome_trace(
+            cycle_result=traced_run, frequency_hz=traced_run.config.frequency_hz
+        )
+        spans = [e["name"] for e in trace["traceEvents"] if e["ph"] == "X"]
+        for module in (
+            "controller",
+            "info-loader",
+            "burst-cmd-gen",
+            "merge",
+            "weight-updater",
+            "wrs-sampler",
+        ):
+            assert any(module in name for name in spans), module
+
+    def test_cycle_to_microsecond_conversion(self, traced_run):
+        freq = traced_run.config.frequency_hz
+        trace = chrome_trace(tracer=traced_run.tracer, frequency_hz=freq)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(traced_run.tracer)
+        last = max(e.cycle for e in traced_run.tracer.events())
+        expected_us = last / freq * 1e6
+        assert max(e["ts"] for e in instants) == pytest.approx(expected_us)
+
+    def test_overflowed_tracer_exports_latest_window(self):
+        tracer = PipelineTracer(max_events=4)
+        for i in range(20):
+            tracer.record(i, "m", "evt")
+        trace = chrome_trace(tracer=tracer, frequency_hz=1e6)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == 4
+        # Cycles 16..19 at 1 MHz are exactly 16..19 µs.
+        assert [e["ts"] for e in instants] == [16.0, 17.0, 18.0, 19.0]
+
+    def test_empty_sources_give_empty_but_valid_trace(self):
+        trace = chrome_trace()
+        assert json.loads(json.dumps(trace)) == trace
+        # Only process-name metadata remains; no timed events.
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
