@@ -31,6 +31,8 @@ from repro.errors import (
     GraphFormatError,
     QueryError,
     ReproError,
+    ShardExecutionError,
+    ShardTimeoutError,
     SimulationError,
 )
 from repro.fpga.accelerator import LightRWAcceleratorSim
@@ -44,6 +46,9 @@ from repro.runtime import (
     Backend,
     BackendCapabilities,
     BatchScheduler,
+    InjectedFault,
+    RetryPolicy,
+    ShardFailure,
     TimingBreakdown,
     backend_names,
     register_backend,
@@ -72,11 +77,16 @@ __all__ = [
     "MetaPathWalk",
     "MetricsRegistry",
     "Node2VecWalk",
+    "InjectedFault",
     "Observer",
     "QueryError",
     "ReproError",
+    "RetryPolicy",
     "RunManifest",
     "RunResult",
+    "ShardExecutionError",
+    "ShardFailure",
+    "ShardTimeoutError",
     "SimulationError",
     "SpeedupReport",
     "StaticWalk",

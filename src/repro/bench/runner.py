@@ -60,6 +60,12 @@ def main(argv: list[str] | None = None) -> int:
         help="skip attaching telemetry snapshots to the saved JSON results",
     )
     parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on the first failing experiment instead of running the "
+             "rest and reporting the failures at the end",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         help="enable structured logging at this level (debug/info/...)",
@@ -84,6 +90,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"known: {', '.join(sorted(REGISTRY))}", file=sys.stderr)
         return 2
 
+    failed: list[tuple[str, Exception]] = []
     for name in names:
         run = REGISTRY[name]
         kwargs = {}
@@ -94,8 +101,21 @@ def main(argv: list[str] | None = None) -> int:
         # which picks up the ambient observer — so each saved report
         # carries the metric series its own runs produced.
         observer = None if args.no_metrics else Observer()
-        with use_observer(observer):
-            result = run(**kwargs)
+        try:
+            with use_observer(observer):
+                result = run(**kwargs)
+        except Exception as exc:  # noqa: BLE001 - experiment isolation
+            # One broken experiment must not discard the rest of an
+            # `all` sweep; mirror the scheduler's degraded-mode contract.
+            if args.strict:
+                raise
+            failed.append((name, exc))
+            print(
+                f"experiment {name} failed: {type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            print()
+            continue
         if observer is not None and len(observer.metrics):
             result.metrics = observer.metrics.snapshot()
         elapsed = time.perf_counter() - started
@@ -123,6 +143,13 @@ def main(argv: list[str] | None = None) -> int:
         print(summary(verdicts))
         if not all(v.passed for v in verdicts):
             return 1
+    if failed:
+        print(
+            f"{len(failed)} of {len(names)} experiment(s) failed: "
+            + ", ".join(name for name, _ in failed),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -45,7 +45,7 @@ from repro.obs import (
     summarize_records,
     write_chrome_trace,
 )
-from repro.runtime import backend_names, describe_backends
+from repro.runtime import InjectedFault, backend_names, describe_backends
 from repro.walks.metapath import MetaPathWalk
 from repro.walks.node2vec import Node2VecWalk
 from repro.walks.static import StaticWalk
@@ -114,6 +114,26 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_faults(specs: list[str] | None) -> list[InjectedFault]:
+    """Parse ``--inject-fault SHARD[:ATTEMPTS[:DELAY]]`` specs."""
+    faults: list[InjectedFault] = []
+    for spec in specs or []:
+        parts = spec.split(":")
+        try:
+            shard = int(parts[0])
+            attempts = int(parts[1]) if len(parts) > 1 and parts[1] else -1
+            delay = float(parts[2]) if len(parts) > 2 and parts[2] else 0.0
+        except (ValueError, IndexError):
+            raise SystemExit(
+                f"error: bad --inject-fault spec {spec!r} "
+                f"(want SHARD[:ATTEMPTS[:DELAY]], e.g. '2:-1' or '0:1:0.5')"
+            ) from None
+        faults.append(
+            InjectedFault(shard=shard, fail_attempts=attempts, delay_s=delay)
+        )
+    return faults
+
+
 def cmd_walk(args: argparse.Namespace) -> int:
     if args.backend not in backend_names():
         raise SystemExit(
@@ -122,6 +142,7 @@ def cmd_walk(args: argparse.Namespace) -> int:
         )
     graph = _load_graph(args.graph, args.scale, args.seed)
     algorithm = _make_algorithm(args)
+    faults = _parse_faults(args.inject_fault)
     observe = bool(args.metrics or args.trace_out)
     observer = Observer() if observe else None
     engine = LightRW(
@@ -133,12 +154,23 @@ def cmd_walk(args: argparse.Namespace) -> int:
         algorithm, args.length, starts=starts, max_sampled_queries=args.max_sampled,
         shards=args.shards, parallel=args.parallel,
         trace=bool(args.trace_out),
+        strict=not args.no_strict,
+        retries=args.retries,
+        shard_timeout_s=args.shard_timeout,
+        faults=faults or None,
     )
     print(
         f"{result.num_queries} queries x {args.length} steps on {args.backend}: "
         f"{result.total_steps} steps, kernel {result.kernel_s * 1e3:.3f} ms, "
         f"{result.steps_per_second:.3g} steps/s"
     )
+    for failure in result.failures:
+        last = failure.offset + failure.num_queries - 1
+        print(
+            f"shard {failure.shard} failed after {failure.attempts} attempt(s) "
+            f"({failure.error_type}: {failure.message}); "
+            f"queries {failure.offset}..{last} missing from the partial result"
+        )
     if args.metrics:
         path = append_jsonl(args.metrics, run_record(result, observer))
         print(f"appended metrics record to {path}")
@@ -250,6 +282,26 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument(
         "--parallel", action="store_true",
         help="execute shards through a worker pool (thread-safe backends)",
+    )
+    walk.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry each failed shard up to N extra times (default 0)",
+    )
+    walk.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard attempt budget; expiry counts as a shard failure",
+    )
+    walk.add_argument(
+        "--no-strict", action="store_true",
+        help="return partial results when shards fail instead of erroring; "
+             "failures are printed and recorded in the run manifest/metrics",
+    )
+    walk.add_argument(
+        "--inject-fault", action="append", default=None,
+        metavar="SHARD[:ATTEMPTS[:DELAY]]",
+        help="deterministically fail shard SHARD for its first ATTEMPTS "
+             "attempts (-1 = always, the default) after DELAY seconds; "
+             "repeatable testing aid for the fault-tolerance paths",
     )
     walk.add_argument("--output", default=None, help="write paths to .npz")
     walk.add_argument("--show", type=int, default=5, help="paths to print")

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -55,10 +56,14 @@ from repro.obs import (
     use_observer,
 )
 from repro.runtime import (
-    BackendReport,
+    BatchOutcome,
     BatchScheduler,
     ExecutionPlan,
+    FaultInjectionBackend,
+    InjectedFault,
+    RetryPolicy,
     RuntimeContext,
+    ShardFailure,
     TimingBreakdown,
     backend_names,
     create_backend,
@@ -104,6 +109,28 @@ class RunResult:
     #: Provenance of this run (seed, backend, plan, config hash, version,
     #: host) — attached to every result, observed or not.
     manifest: RunManifest | None = None
+    #: Shards that exhausted their retry budget.  Empty on a healthy run;
+    #: non-empty only for ``strict=False`` runs, whose ``paths`` then
+    #: cover the surviving shards only (still in global query-id order).
+    failures: tuple[ShardFailure, ...] = ()
+    #: Whether this run was executed in strict (raise-on-failure) mode.
+    strict: bool = True
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard executed (no recorded failures)."""
+        return not self.failures
+
+    @property
+    def executed_queries(self) -> int:
+        """Functionally walked queries present in ``paths`` (rows)."""
+        return int(self.paths.shape[0])
+
+    def failed_query_ids(self) -> np.ndarray:
+        """Global ids of the sampled queries lost to shard failures."""
+        if not self.failures:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate([f.query_ids() for f in self.failures])
 
     @property
     def tracer(self):
@@ -214,6 +241,11 @@ class LightRW:
         parallel: bool = False,
         observer: Observer | None = None,
         trace: bool = False,
+        strict: bool = True,
+        retries: int = 0,
+        shard_timeout_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        faults: Sequence[InjectedFault] | None = None,
     ) -> RunResult:
         """Walk a query batch and model its execution.
 
@@ -245,6 +277,24 @@ class LightRW:
             Record pipeline events on the ``fpga-cycle`` backend; read
             them from ``result.tracer`` or export with
             :func:`repro.obs.write_chrome_trace`.
+        strict:
+            ``True`` (default) raises
+            :class:`~repro.errors.ShardExecutionError` when any shard
+            exhausts its retries; ``False`` returns the surviving shards
+            as a partial result with the failures on
+            :attr:`RunResult.failures`.
+        retries:
+            Extra attempts per failed shard (0 = fail fast).
+        shard_timeout_s:
+            Wall-clock budget per shard attempt; expiry counts as a
+            failure and is retried like one.
+        retry:
+            Full :class:`~repro.runtime.RetryPolicy` (backoff and
+            deterministic jitter included); overrides ``retries`` and
+            ``shard_timeout_s``.
+        faults:
+            Deterministic :class:`~repro.runtime.InjectedFault` specs for
+            testing the failure paths (see :mod:`repro.runtime.faults`).
         """
         obs = self._observer_for(observer)
         with use_observer(obs), obs.span(
@@ -260,7 +310,16 @@ class LightRW:
                 shards=shards,
                 trace=trace,
             )
-            return self._execute(plan, parallel=parallel)
+            return self._execute(
+                plan,
+                parallel=parallel,
+                strict=strict,
+                retry=retry
+                or RetryPolicy(
+                    max_attempts=int(retries) + 1, shard_timeout_s=shard_timeout_s
+                ),
+                faults=faults,
+            )
 
     def run_restart(
         self,
@@ -272,6 +331,11 @@ class LightRW:
         shards: int = 1,
         parallel: bool = False,
         observer: Observer | None = None,
+        strict: bool = True,
+        retries: int = 0,
+        shard_timeout_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        faults: Sequence[InjectedFault] | None = None,
     ) -> RunResult:
         """Random walk with restart (personalized PageRank) on the model.
 
@@ -296,7 +360,16 @@ class LightRW:
                 shards=shards,
                 restart_alpha=alpha,
             )
-            return self._execute(plan, parallel=parallel)
+            return self._execute(
+                plan,
+                parallel=parallel,
+                strict=strict,
+                retry=retry
+                or RetryPolicy(
+                    max_attempts=int(retries) + 1, shard_timeout_s=shard_timeout_s
+                ),
+                faults=faults,
+            )
 
     # -- runtime plumbing ----------------------------------------------------
 
@@ -333,12 +406,28 @@ class LightRW:
             trace=trace,
         )
 
-    def _execute(self, plan: ExecutionPlan, parallel: bool = False) -> RunResult:
+    def _execute(
+        self,
+        plan: ExecutionPlan,
+        parallel: bool = False,
+        *,
+        strict: bool = True,
+        retry: RetryPolicy | None = None,
+        faults: Sequence[InjectedFault] | None = None,
+    ) -> RunResult:
         backend = create_backend(self.backend, self.runtime_context())
-        report = BatchScheduler(parallel=parallel).execute(backend, plan)
-        return self._package(plan, report)
+        if faults:
+            backend = FaultInjectionBackend(backend, faults)
+        scheduler = BatchScheduler(
+            parallel=parallel, retry=retry or RetryPolicy(), strict=strict
+        )
+        outcome = scheduler.execute(backend, plan)
+        return self._package(plan, outcome, strict=strict)
 
-    def _package(self, plan: ExecutionPlan, report: BackendReport) -> RunResult:
+    def _package(
+        self, plan: ExecutionPlan, outcome: BatchOutcome, *, strict: bool = True
+    ) -> RunResult:
+        report = outcome.report
         pcie_s = 0.0
         if plan.include_pcie and resolve_backend(self.backend).capabilities.uses_pcie:
             pcie_s = self.pcie.round_trip_s(
@@ -362,7 +451,10 @@ class LightRW:
                 seed=self.seed,
                 config=self.config,
                 graph_name=getattr(self.graph, "name", "") or "",
+                failures=outcome.failures,
             ),
+            failures=outcome.failures,
+            strict=strict,
         )
         obs = current_observer()
         if obs.enabled:

@@ -45,3 +45,27 @@ class SimulationError(ReproError):
     pushed while full), never a user input problem, and is therefore a
     condition tests treat as fatal.
     """
+
+
+class ShardTimeoutError(ReproError):
+    """Raised when one scheduler shard exceeds its per-shard time budget.
+
+    The batch scheduler treats a timed-out attempt like any other shard
+    failure: it is retried under the run's :class:`~repro.runtime.RetryPolicy`
+    and, if the budget keeps being exceeded, surfaces as a
+    :class:`~repro.runtime.ShardFailure` with ``timed_out=True``.
+    """
+
+
+class ShardExecutionError(ReproError):
+    """Raised when shard failures cannot be absorbed by the scheduler.
+
+    In strict mode (the default) any failed shard raises this; in degraded
+    mode it is raised only when *every* shard failed and there is no
+    partial result to return.  The ``failures`` attribute carries the
+    per-shard :class:`~repro.runtime.ShardFailure` records.
+    """
+
+    def __init__(self, message: str, failures: tuple = ()) -> None:
+        super().__init__(message)
+        self.failures = tuple(failures)

@@ -130,8 +130,13 @@ def plan_bursts(
         + n_short * (strategy.short_beats + overhead)
     )
     # Device bandwidth cap: beats cannot stream faster than the DDR4 core.
-    min_beat_cycles = (loaded // timings.bus_bytes) * timings.min_cycles_per_beat
-    cycles = np.maximum(cycles.astype(np.float64), min_beat_cycles)
+    # ``min_cycles_per_beat`` is fractional, but interface occupancy is a
+    # whole number of cycles — round the floor up so every ``BurstPlan``
+    # field stays int64 instead of silently drifting to float64.
+    min_beat_cycles = np.ceil(
+        (loaded // timings.bus_bytes) * timings.min_cycles_per_beat
+    ).astype(np.int64)
+    cycles = np.maximum(cycles, min_beat_cycles)
     return BurstPlan(
         n_long=n_long,
         n_short=n_short,

@@ -54,6 +54,8 @@ class CacheStatsMixin:
     def _init_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self._published_hits = 0
+        self._published_misses = 0
 
     def record_hit(self) -> bool:
         self.hits += 1
@@ -82,12 +84,21 @@ class CacheStatsMixin:
 
         Series use the DAC slot's documented names (``dac.*``) with a
         ``policy`` label distinguishing the ablation policies.
+
+        Publishing is snapshot-idempotent: only events recorded since the
+        previous ``publish`` call are added, so calling it repeatedly
+        (e.g. once per shard merge plus once at run end) never
+        double-counts into the cumulative ``dac.*`` counters.
         """
         labels = dict(labels, policy=self.name)
-        metrics.counter("dac.accesses", **labels).inc(self.accesses)
-        metrics.counter("dac.hits", **labels).inc(self.hits)
-        metrics.counter("dac.misses", **labels).inc(self.misses)
+        delta_hits = self.hits - self._published_hits
+        delta_misses = self.misses - self._published_misses
+        metrics.counter("dac.accesses", **labels).inc(delta_hits + delta_misses)
+        metrics.counter("dac.hits", **labels).inc(delta_hits)
+        metrics.counter("dac.misses", **labels).inc(delta_misses)
         metrics.gauge("dac.hit_ratio", **labels).set(self.hit_ratio)
+        self._published_hits = self.hits
+        self._published_misses = self.misses
 
 
 class DegreeAwareCache(CacheStatsMixin):

@@ -26,7 +26,12 @@ Collection is opt-in and the disabled path is a no-op::
     obs.metrics.get("dac.hit_ratio", backend="fpga-model")
 """
 
-from repro.obs.adapters import record_run, record_shard
+from repro.obs.adapters import (
+    record_retry,
+    record_run,
+    record_shard,
+    record_shard_failure,
+)
 from repro.obs.export import (
     append_jsonl,
     chrome_trace,
@@ -80,8 +85,10 @@ __all__ = [
     "current_observer",
     "prometheus_text",
     "read_jsonl",
+    "record_retry",
     "record_run",
     "record_shard",
+    "record_shard_failure",
     "run_record",
     "series_key",
     "span",

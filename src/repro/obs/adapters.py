@@ -34,9 +34,10 @@ from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.api import RunResult
+    from repro.runtime.scheduler import ShardFailure
     from repro.runtime.timing import TimingBreakdown
 
-__all__ = ["record_shard", "record_run"]
+__all__ = ["record_retry", "record_run", "record_shard", "record_shard_failure"]
 
 
 def _family(native: Any) -> str:
@@ -121,6 +122,27 @@ def _record_cpu_shard(
     metrics.counter("cpu.instr_seconds", **labels).inc(native.instr_time_s)
 
 
+# -- fault-tolerance events ---------------------------------------------------
+
+
+def record_retry(metrics: MetricsRegistry, *, backend: str, shard: int) -> None:
+    """Count one shard retry attempt (``run.retries``)."""
+    metrics.counter("run.retries", backend=backend, shard=shard).inc()
+
+
+def record_shard_failure(
+    metrics: MetricsRegistry, failure: "ShardFailure", *, backend: str
+) -> None:
+    """Count one shard that exhausted its attempts (``run.shard_failures``)."""
+    metrics.counter(
+        "run.shard_failures", backend=backend, shard=failure.shard,
+        error=failure.error_type,
+    ).inc()
+    metrics.counter(
+        "run.failed_queries", backend=backend, shard=failure.shard
+    ).inc(failure.num_queries)
+
+
 # -- batch-level gauges and distributions -------------------------------------
 
 
@@ -140,6 +162,7 @@ def record_run(metrics: MetricsRegistry, result: "RunResult") -> None:
     )
     metrics.counter("run.total_steps", backend=backend).inc(result.total_steps)
     metrics.counter("run.queries", backend=backend).inc(result.num_queries)
+    metrics.gauge("run.failed_shards", backend=backend).set(len(result.failures))
     if result.query_latency_s is not None:
         metrics.histogram(
             "query.latency_seconds", backend=backend

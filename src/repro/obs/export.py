@@ -53,11 +53,14 @@ def run_record(result: "RunResult", observer: Observer | None = None) -> dict:
             "backend": result.backend,
             "algorithm": result.algorithm,
             "num_queries": result.num_queries,
+            "executed_queries": result.executed_queries,
             "total_steps": result.total_steps,
             "kernel_s": result.kernel_s,
             "pcie_s": result.pcie_s,
             "setup_s": result.setup_s,
             "steps_per_second": result.steps_per_second,
+            "strict": result.strict,
+            "failures": [f.as_dict() for f in result.failures],
         },
     }
     if observer is not None and observer.enabled:
@@ -109,6 +112,16 @@ def summarize_records(records: Iterable[dict]) -> str:
                 f"  kernel={summary.get('kernel_s', 0.0):.6g}s"
                 f" steps/s={summary.get('steps_per_second', 0.0):.4g}"
                 f" pcie={summary.get('pcie_s', 0.0):.6g}s"
+            )
+        failed = (summary.get("failures") if summary else None) or []
+        if failed:
+            lines.append(
+                "  failures: "
+                + ", ".join(
+                    f"shard {f.get('shard')} ({f.get('error_type')}, "
+                    f"{f.get('attempts')} attempt(s))"
+                    for f in failed
+                )
             )
         metrics = record.get("metrics") or {}
         interesting = [

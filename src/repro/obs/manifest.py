@@ -16,10 +16,11 @@ import json
 import platform
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.runtime.plan import ExecutionPlan
+    from repro.runtime.scheduler import ShardFailure
 
 __all__ = ["RunManifest", "build_manifest", "config_fingerprint"]
 
@@ -63,13 +64,21 @@ class RunManifest:
     host: str
     python_version: str
     created_unix: float = field(default_factory=time.time)
+    #: Shard failures of a degraded run, as JSON-ready dicts (shard index,
+    #: query-id range, error type, attempts); empty for healthy runs.
+    failures: tuple = ()
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
 
 
 def build_manifest(
-    plan: "ExecutionPlan", *, seed: int, config: Any, graph_name: str
+    plan: "ExecutionPlan",
+    *,
+    seed: int,
+    config: Any,
+    graph_name: str,
+    failures: "Sequence[ShardFailure]" = (),
 ) -> RunManifest:
     """Assemble the manifest for one planned run."""
     from repro import __version__
@@ -87,4 +96,5 @@ def build_manifest(
         package_version=__version__,
         host=platform.node(),
         python_version=platform.python_version(),
+        failures=tuple(f.as_dict() for f in failures),
     )

@@ -12,10 +12,19 @@ the bench runner — executes query batches through this package:
 3. the **batch scheduler** (:mod:`repro.runtime.scheduler`) executes the
    shards (sequentially or via a worker pool) and merges the per-shard
    :class:`BackendReport`\\ s — paths, latencies and the unified
-   :class:`TimingBreakdown` hierarchy.
+   :class:`TimingBreakdown` hierarchy.  Shards are fault-isolated: a
+   failed shard becomes a structured :class:`ShardFailure` under the
+   scheduler's :class:`RetryPolicy` (attempts, deterministic backoff,
+   per-shard timeout), and the ``strict`` flag chooses between
+   raise-on-any-failure and a partial :class:`BatchOutcome` merged over
+   the survivors;
+4. the **fault-injection wrapper** (:mod:`repro.runtime.faults`) makes
+   every failure path deterministically testable by failing or delaying
+   chosen shards for chosen attempts.
 
 Identical seeds produce identical walks across backends and shard
-layouts, because per-query randomness is keyed by global query id.
+layouts, because per-query randomness is keyed by global query id —
+which is also why a retried shard reproduces byte-identical walks.
 """
 
 from repro.runtime.backends import (
@@ -35,8 +44,19 @@ from repro.runtime.backends import (
     resolve_backend,
     unregister_backend,
 )
+from repro.runtime.faults import (
+    FaultInjectionBackend,
+    InjectedFault,
+    InjectedFaultError,
+)
 from repro.runtime.plan import ExecutionPlan, QueryShard, plan_run
-from repro.runtime.scheduler import BatchScheduler, run_plan
+from repro.runtime.scheduler import (
+    BatchOutcome,
+    BatchScheduler,
+    RetryPolicy,
+    ShardFailure,
+    run_plan,
+)
 from repro.runtime.timing import (
     CPUBaselineBreakdown,
     FPGACycleBreakdown,
@@ -48,6 +68,7 @@ __all__ = [
     "Backend",
     "BackendCapabilities",
     "BackendReport",
+    "BatchOutcome",
     "BatchScheduler",
     "CPUBaselineBackend",
     "CPUBaselineBreakdown",
@@ -56,8 +77,13 @@ __all__ = [
     "FPGACycleBreakdown",
     "FPGAModelBackend",
     "FPGAModelBreakdown",
+    "FaultInjectionBackend",
+    "InjectedFault",
+    "InjectedFaultError",
     "QueryShard",
+    "RetryPolicy",
     "RuntimeContext",
+    "ShardFailure",
     "TimingBreakdown",
     "backend_capabilities",
     "backend_names",

@@ -1,4 +1,4 @@
-"""Sharded batch scheduler: execute a plan's shards and merge the reports.
+"""Sharded batch scheduler: fault-isolated execution of a plan's shards.
 
 Large query batches are split into shards by the planner; the scheduler
 drives a backend over them — sequentially by default, or through a worker
@@ -7,20 +7,201 @@ releases the GIL inside its numpy kernels, so shards genuinely overlap).
 Shard reports always merge in shard order, so the merged paths/latencies
 are in global query-id order and the result is independent of worker
 scheduling.
+
+A failed shard never aborts its siblings.  Each shard runs under the
+scheduler's :class:`RetryPolicy` (attempt budget, exponential backoff
+with deterministic jitter, optional per-attempt timeout) and a shard that
+exhausts its attempts becomes a structured :class:`ShardFailure` instead
+of an exception tearing down the pool.  What happens next is the
+``strict`` flag's choice:
+
+* ``strict=True`` (default) — any failure raises
+  :class:`~repro.errors.ShardExecutionError` carrying every
+  :class:`ShardFailure`;
+* ``strict=False`` — surviving shards merge into a partial result (still
+  in global query-id order) and the failures ride along on the
+  :class:`BatchOutcome`.
+
+Retries and failures are recorded through the metrics registry
+(``run.retries``, ``run.shard_failures``) and each attempt is a ``shard``
+span, so degraded runs stay fully observable.
 """
 
 from __future__ import annotations
 
 import logging
 import os
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from repro.obs import current_observer, record_shard, use_observer
+import numpy as np
+
+from repro.errors import ConfigError, ShardExecutionError, ShardTimeoutError
+from repro.obs import (
+    current_observer,
+    record_retry,
+    record_shard,
+    record_shard_failure,
+    use_observer,
+)
 from repro.runtime.backends import Backend, BackendReport
 from repro.runtime.plan import ExecutionPlan, QueryShard
 
 logger = logging.getLogger(__name__)
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One SplitMix64 step — the repo-wide seed-mixing primitive."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler treats a shard attempt that fails.
+
+    Backoff before retry ``a`` (the second attempt is ``a = 2``) is
+
+        ``backoff_base_s * backoff_factor ** (a - 2)``
+
+    scaled down by up to ``jitter`` — the jitter fraction is derived from
+    ``(jitter_seed, shard, attempt)`` with SplitMix64, so two runs of the
+    same configuration wait exactly the same amount (wall-clock
+    reproducibility is a repo invariant; there is no ambient randomness).
+    """
+
+    #: Total attempts per shard (1 = no retry).
+    max_attempts: int = 1
+    #: Delay before the first retry; 0 retries immediately.
+    backoff_base_s: float = 0.0
+    #: Multiplier applied per additional retry (exponential backoff).
+    backoff_factor: float = 2.0
+    #: Fraction of the delay randomized away deterministically, in [0, 1].
+    jitter: float = 0.0
+    #: Seed of the deterministic jitter stream.
+    jitter_seed: int = 0
+    #: Wall-clock budget of one shard attempt (None = unlimited).
+    shard_timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_base_s < 0:
+            raise ConfigError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.backoff_factor < 1:
+            raise ConfigError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ConfigError(
+                f"shard_timeout_s must be positive, got {self.shard_timeout_s}"
+            )
+
+    @property
+    def retries(self) -> int:
+        return self.max_attempts - 1
+
+    def backoff_s(self, shard: int, attempt: int) -> float:
+        """Deterministic delay before ``attempt`` (>= 2) of ``shard``."""
+        if attempt <= 1 or self.backoff_base_s <= 0:
+            return 0.0
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 2)
+        if self.jitter <= 0:
+            return base
+        word = _splitmix64(
+            (self.jitter_seed & _MASK64)
+            ^ _splitmix64(shard * 0x10001 + attempt)
+        )
+        fraction = word / float(1 << 64)
+        return base * (1.0 - self.jitter * fraction)
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One shard that exhausted its attempt budget."""
+
+    #: Shard index in the plan's layout.
+    shard: int
+    #: Global query id of the shard's first query.
+    offset: int
+    #: Number of (sampled) queries the shard would have walked.
+    num_queries: int
+    #: Exception class name of the final attempt.
+    error_type: str
+    #: Exception message of the final attempt.
+    message: str
+    #: Attempts consumed (== the policy's ``max_attempts``).
+    attempts: int
+    #: True when the final attempt hit the per-shard timeout.
+    timed_out: bool = False
+
+    def query_ids(self) -> np.ndarray:
+        """Global ids of the queries this failure lost."""
+        return self.offset + np.arange(self.num_queries, dtype=np.int64)
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "offset": self.offset,
+            "num_queries": self.num_queries,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "timed_out": self.timed_out,
+        }
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What executing a plan produced: the merged report plus any failures."""
+
+    #: Merged report over the surviving shards (all of them when ``ok``).
+    report: BackendReport
+    failures: tuple[ShardFailure, ...] = ()
+    #: Total retry attempts consumed across every shard.
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _call_with_timeout(call, timeout_s: float, shard: int, attempt: int):
+    """Run ``call`` on a watchdog thread, abandoning it past ``timeout_s``.
+
+    Backends cannot be interrupted cooperatively mid-kernel, so a
+    timed-out attempt keeps running on its (daemon) thread while the
+    scheduler moves on — the standard thread-pool trade-off.
+    """
+    box: dict[str, object] = {}
+    done = threading.Event()
+
+    def target() -> None:
+        try:
+            box["report"] = call()
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the caller
+            box["error"] = exc
+        finally:
+            done.set()
+
+    worker = threading.Thread(
+        target=target, name=f"shard-{shard}-attempt-{attempt}", daemon=True
+    )
+    worker.start()
+    if not done.wait(timeout_s):
+        raise ShardTimeoutError(
+            f"shard {shard} attempt {attempt} exceeded the "
+            f"{timeout_s:.3g}s shard timeout"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["report"]
 
 
 @dataclass
@@ -34,53 +215,141 @@ class BatchScheduler:
         ``thread_safe``.  Walks are identical either way (per-query RNG);
         only wall-clock changes.
     max_workers:
-        Pool width; defaults to ``min(shards, cpu_count)``.
+        Pool width; defaults to ``cpu_count`` and is always clamped to
+        the shard count.  Zero or negative widths are a
+        :class:`~repro.errors.ConfigError` at construction, not a
+        mid-run ``ThreadPoolExecutor`` crash.
+    retry:
+        Per-shard attempt budget, backoff and timeout (default: one
+        attempt, no timeout).
+    strict:
+        ``True`` raises :class:`~repro.errors.ShardExecutionError` on any
+        shard failure; ``False`` merges the survivors into a partial
+        result and reports the failures on the :class:`BatchOutcome`.
     """
 
     parallel: bool = False
     max_workers: int | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    strict: bool = True
 
-    def execute(self, backend: Backend, plan: ExecutionPlan) -> BackendReport:
-        """Run every shard of ``plan`` on ``backend`` and merge the reports."""
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+
+    def execute(self, backend: Backend, plan: ExecutionPlan) -> BatchOutcome:
+        """Run every shard of ``plan`` on ``backend`` and merge the survivors."""
         shards = plan.shards
         if not shards:
             raise ValueError("plan has no shards to execute")
         obs = current_observer()
+        policy = self.retry
 
-        def run_shard(shard: QueryShard) -> BackendReport:
-            # Worker threads start with a fresh context, so re-install the
-            # observer; spans opened by the backend then nest under the
-            # shard span on this thread's own track.
-            with use_observer(obs), obs.span(
-                "shard", backend=backend.name, shard=shard.index,
-                queries=shard.num_queries,
-            ):
-                report = backend.execute(plan, shard)
-            if obs.enabled:
-                record_shard(
-                    obs.metrics, report.breakdown,
-                    backend=backend.name, shard=shard.index,
-                )
-            return report
+        def attempt_shard(shard: QueryShard, attempt: int) -> BackendReport:
+            def call() -> BackendReport:
+                # Worker threads start with a fresh context, so re-install
+                # the observer; spans opened by the backend then nest under
+                # the shard span on this thread's own track.
+                with use_observer(obs), obs.span(
+                    "shard", backend=backend.name, shard=shard.index,
+                    queries=shard.num_queries, attempt=attempt,
+                ):
+                    report = backend.execute(plan, shard)
+                if obs.enabled:
+                    record_shard(
+                        obs.metrics, report.breakdown,
+                        backend=backend.name, shard=shard.index,
+                    )
+                return report
+
+            if policy.shard_timeout_s is None:
+                return call()
+            return _call_with_timeout(
+                call, policy.shard_timeout_s, shard.index, attempt
+            )
+
+        def run_shard(shard: QueryShard) -> tuple[BackendReport | ShardFailure, int]:
+            last: Exception | None = None
+            for attempt in range(1, policy.max_attempts + 1):
+                if attempt > 1:
+                    if obs.enabled:
+                        record_retry(
+                            obs.metrics, backend=backend.name, shard=shard.index
+                        )
+                    delay = policy.backoff_s(shard.index, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                try:
+                    return attempt_shard(shard, attempt), attempt
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    last = exc
+                    logger.warning(
+                        "shard %d attempt %d/%d on %s failed: %s: %s",
+                        shard.index, attempt, policy.max_attempts,
+                        backend.name, type(exc).__name__, exc,
+                    )
+            failure = ShardFailure(
+                shard=shard.index,
+                offset=shard.offset,
+                num_queries=shard.num_queries,
+                error_type=type(last).__name__,
+                message=str(last),
+                attempts=policy.max_attempts,
+                timed_out=isinstance(last, ShardTimeoutError),
+            )
+            return failure, policy.max_attempts
 
         use_pool = (
             self.parallel and len(shards) > 1 and backend.capabilities.thread_safe
         )
         if use_pool:
-            workers = self.max_workers or min(len(shards), os.cpu_count() or 1)
+            requested = self.max_workers or (os.cpu_count() or 1)
+            workers = min(requested, len(shards))
             logger.debug(
                 "executing %d shard(s) on %s via %d worker(s)",
                 len(shards), backend.name, workers,
             )
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                reports = list(pool.map(run_shard, shards))
+                outcomes = list(pool.map(run_shard, shards))
         else:
             logger.debug(
                 "executing %d shard(s) on %s sequentially", len(shards), backend.name
             )
-            reports = [run_shard(shard) for shard in shards]
+            outcomes = [run_shard(shard) for shard in shards]
+
+        reports = [r for r, _ in outcomes if isinstance(r, BackendReport)]
+        failures = tuple(r for r, _ in outcomes if isinstance(r, ShardFailure))
+        retries = sum(attempts - 1 for _, attempts in outcomes)
+        if failures:
+            if obs.enabled:
+                for failure in failures:
+                    record_shard_failure(
+                        obs.metrics, failure, backend=backend.name
+                    )
+            detail = "; ".join(
+                f"shard {f.shard} ({f.error_type} after {f.attempts} attempt(s)): "
+                f"{f.message}"
+                for f in failures
+            )
+            if self.strict:
+                raise ShardExecutionError(
+                    f"{len(failures)} of {len(shards)} shard(s) failed: {detail}",
+                    failures=failures,
+                )
+            if not reports:
+                raise ShardExecutionError(
+                    f"every shard failed, no partial result to return: {detail}",
+                    failures=failures,
+                )
+            logger.warning(
+                "degraded run: %d of %d shard(s) failed, merging %d survivor(s)",
+                len(failures), len(shards), len(reports),
+            )
         with obs.span("merge", backend=backend.name, shards=len(reports)):
-            return backend.merge(plan, reports)
+            merged = backend.merge(plan, reports)
+        return BatchOutcome(report=merged, failures=failures, retries=retries)
 
 
 def run_plan(
@@ -88,5 +357,11 @@ def run_plan(
     plan: ExecutionPlan,
     scheduler: BatchScheduler | None = None,
 ) -> BackendReport:
-    """Convenience wrapper: execute ``plan`` with a default scheduler."""
-    return (scheduler or BatchScheduler()).execute(backend, plan)
+    """Convenience wrapper: execute ``plan`` and return the merged report.
+
+    Uses a default (strict) scheduler unless one is given, so any shard
+    failure raises; callers that need the per-shard failure records use
+    :meth:`BatchScheduler.execute` directly and read the
+    :class:`BatchOutcome`.
+    """
+    return (scheduler or BatchScheduler()).execute(backend, plan).report

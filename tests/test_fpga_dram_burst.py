@@ -142,3 +142,23 @@ class TestPlanBursts:
         np.testing.assert_array_equal(
             plan.n_long, np.asarray(sizes) // (long * 64)
         )
+
+
+class TestPlanDtypes:
+    @pytest.mark.parametrize(
+        "strategy", [SHORT_ONLY, FIXED_LONG, BurstStrategy(1, 32)]
+    )
+    def test_every_plan_field_stays_int64(self, strategy):
+        """The bandwidth-cap maximum must not drift cycles to float64."""
+        sizes = np.array([0, 1, 63, 64, 100, 2048, 256 * 64, 10**6])
+        plan = plan_bursts(sizes, strategy)
+        for field in ("n_long", "n_short", "loaded_bytes", "valid_bytes",
+                      "interface_cycles"):
+            assert getattr(plan, field).dtype == np.int64, field
+
+    def test_bandwidth_floor_rounds_up_to_whole_cycles(self):
+        timings = DRAMTimings()
+        strategy = BurstStrategy(short_beats=0, long_beats=256)
+        plan = plan_bursts(np.array([256 * 64]), strategy, timings)
+        floor = 256 * timings.min_cycles_per_beat
+        assert plan.interface_cycles[0] == int(np.ceil(floor))
