@@ -27,6 +27,7 @@ from repro.core.queries import make_queries, sample_queries
 from repro.cpu.costmodel import CPUSpec
 from repro.cpu.engine import ThunderRWEngine
 from repro.errors import (
+    ArtifactCorruptionError,
     ConfigError,
     GraphFormatError,
     QueryError,
@@ -34,6 +35,7 @@ from repro.errors import (
     ShardExecutionError,
     ShardTimeoutError,
     SimulationError,
+    SimulationStallError,
 )
 from repro.fpga.accelerator import LightRWAcceleratorSim
 from repro.fpga.burst import BurstStrategy
@@ -48,10 +50,13 @@ from repro.runtime import (
     BatchScheduler,
     InjectedFault,
     RetryPolicy,
+    RunCheckpoint,
     ShardFailure,
+    SweepCheckpoint,
     TimingBreakdown,
     backend_names,
     register_backend,
+    resume_run,
 )
 from repro.walks.metapath import MetaPathWalk
 from repro.walks.node2vec import Node2VecWalk
@@ -61,6 +66,7 @@ from repro.walks.uniform import UniformWalk
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCorruptionError",
     "Backend",
     "BackendCapabilities",
     "BatchScheduler",
@@ -82,14 +88,17 @@ __all__ = [
     "QueryError",
     "ReproError",
     "RetryPolicy",
+    "RunCheckpoint",
     "RunManifest",
     "RunResult",
     "ShardExecutionError",
     "ShardFailure",
     "ShardTimeoutError",
     "SimulationError",
+    "SimulationStallError",
     "SpeedupReport",
     "StaticWalk",
+    "SweepCheckpoint",
     "ThunderRWEngine",
     "TimingBreakdown",
     "UniformWalk",
@@ -101,6 +110,7 @@ __all__ = [
     "load_dataset",
     "make_queries",
     "register_backend",
+    "resume_run",
     "rmat_graph",
     "sample_queries",
     "use_observer",

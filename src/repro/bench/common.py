@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
+from repro.artifacts import read_json_artifact, write_json_artifact
 from repro.runtime import backend_names, comparison_backends, describe_backends
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "DEFAULT_SAMPLED_QUERIES",
@@ -23,6 +27,7 @@ __all__ = [
     "backend_names",
     "comparison_backends",
     "describe_backends",
+    "load_result_json",
     "register",
 ]
 
@@ -94,8 +99,8 @@ class ExperimentResult:
         return "\n".join(lines)
 
     def save_json(self, directory: str | Path) -> Path:
+        """Write the result as a checksummed JSON artifact (atomic)."""
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         path = directory / f"{self.name}.json"
         payload = {
             "name": self.name,
@@ -107,8 +112,26 @@ class ExperimentResult:
         }
         if self.metrics:
             payload["metrics"] = self.metrics
-        path.write_text(json.dumps(payload, indent=2, default=str))
-        return path
+        return write_json_artifact(path, payload, kind="bench-result")
+
+
+def load_result_json(path: str | Path) -> dict:
+    """Load one saved experiment result, verifying its integrity.
+
+    Results written by :meth:`ExperimentResult.save_json` carry a
+    checksummed envelope which is verified (corruption is quarantined and
+    raised as :class:`~repro.errors.ArtifactCorruptionError`); results
+    saved before the envelope existed load unverified with a warning.
+    """
+    path = Path(path)
+    try:
+        parsed = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        parsed = None  # defer to read_json_artifact for quarantine + error
+    if isinstance(parsed, dict) and "format_version" not in parsed:
+        logger.warning("%s: legacy bench result without integrity envelope", path)
+        return parsed
+    return read_json_artifact(path, kind="bench-result")
 
 
 def _format_cell(value: object) -> str:

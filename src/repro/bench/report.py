@@ -11,8 +11,9 @@ figures.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
+
+from repro.bench.common import load_result_json
 
 #: Experiment ordering in the report (paper order, then extensions).
 REPORT_ORDER = [
@@ -112,7 +113,7 @@ def render_report(results_dir: str | Path) -> str:
         "",
     ]
     for name in ordered:
-        payload = json.loads(available[name].read_text())
+        payload = load_result_json(available[name])
         sections.append(render_experiment(payload))
         sections.append("")
     return "\n".join(sections)

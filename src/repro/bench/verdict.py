@@ -16,10 +16,11 @@ or seeds.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
+
+from repro.bench.common import load_result_json
 
 
 @dataclass(frozen=True)
@@ -187,7 +188,7 @@ def score_reproduction(results_dir: str | Path) -> list[Verdict]:
         if not path.exists():
             verdicts.append(Verdict(name, claim, False, "result file missing"))
             continue
-        rows = json.loads(path.read_text())["rows"]
+        rows = load_result_json(path)["rows"]
         try:
             passed, detail = check(rows)
         except (KeyError, IndexError, ValueError) as error:

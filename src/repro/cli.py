@@ -24,11 +24,10 @@ import logging
 import sys
 from pathlib import Path
 
-import numpy as np
-
+from repro.artifacts import save_npz_checked
 from repro.core.api import LightRW
 from repro.core.queries import make_queries
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.generators import chung_lu_graph, erdos_renyi_graph, rmat_graph
@@ -140,6 +139,13 @@ def cmd_walk(args: argparse.Namespace) -> int:
             f"error: unknown backend {args.backend!r} "
             f"(registered: {', '.join(backend_names())})"
         )
+    if args.resume and not args.checkpoint_dir:
+        raise ConfigError("--resume requires --checkpoint-dir")
+    if args.resume and not Path(args.checkpoint_dir).is_dir():
+        raise ConfigError(
+            f"--resume: checkpoint directory {args.checkpoint_dir!r} does "
+            f"not exist (start a run with --checkpoint-dir first)"
+        )
     graph = _load_graph(args.graph, args.scale, args.seed)
     algorithm = _make_algorithm(args)
     faults = _parse_faults(args.inject_fault)
@@ -158,12 +164,19 @@ def cmd_walk(args: argparse.Namespace) -> int:
         retries=args.retries,
         shard_timeout_s=args.shard_timeout,
         faults=faults or None,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     print(
         f"{result.num_queries} queries x {args.length} steps on {args.backend}: "
         f"{result.total_steps} steps, kernel {result.kernel_s * 1e3:.3f} ms, "
         f"{result.steps_per_second:.3g} steps/s"
     )
+    if result.resumed_shards:
+        print(
+            f"resumed from {args.checkpoint_dir}: {result.resumed_shards} "
+            f"shard(s) restored from checkpoint"
+        )
     for failure in result.failures:
         last = failure.offset + failure.num_queries - 1
         print(
@@ -188,8 +201,10 @@ def cmd_walk(args: argparse.Namespace) -> int:
         )
         print(f"wrote Chrome trace to {path}")
     if args.output:
-        np.savez_compressed(args.output, paths=result.paths, lengths=result.lengths)
-        print(f"wrote paths to {args.output}")
+        path = save_npz_checked(
+            args.output, {"paths": result.paths, "lengths": result.lengths}
+        )
+        print(f"wrote paths to {path}")
     else:
         for q in range(min(args.show, result.paths.shape[0])):
             path = result.paths[q, : result.lengths[q] + 1]
@@ -302,6 +317,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="deterministically fail shard SHARD for its first ATTEMPTS "
              "attempts (-1 = always, the default) after DELAY seconds; "
              "repeatable testing aid for the fault-tolerance paths",
+    )
+    walk.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="persist each completed shard to DIR (atomic, checksummed) so "
+             "a killed run can be resumed with --resume",
+    )
+    walk.add_argument(
+        "--resume", action="store_true",
+        help="restore completed shards from --checkpoint-dir and execute "
+             "only the missing ones (walks are byte-identical to an "
+             "uninterrupted run)",
     )
     walk.add_argument("--output", default=None, help="write paths to .npz")
     walk.add_argument("--show", type=int, default=5, help="paths to print")

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -44,6 +45,7 @@ import numpy as np
 from repro.core.queries import make_queries
 from repro.core.results import BoxStats, latency_box_stats
 from repro.cpu.costmodel import CPUSpec
+from repro.errors import ConfigError
 from repro.fpga.config import LightRWConfig
 from repro.fpga.pcie import PCIeModel
 from repro.graph.csr import CSRGraph
@@ -51,6 +53,7 @@ from repro.obs import (
     Observer,
     RunManifest,
     build_manifest,
+    config_fingerprint,
     current_observer,
     record_run,
     use_observer,
@@ -62,6 +65,7 @@ from repro.runtime import (
     FaultInjectionBackend,
     InjectedFault,
     RetryPolicy,
+    RunCheckpoint,
     RuntimeContext,
     ShardFailure,
     TimingBreakdown,
@@ -115,6 +119,9 @@ class RunResult:
     failures: tuple[ShardFailure, ...] = ()
     #: Whether this run was executed in strict (raise-on-failure) mode.
     strict: bool = True
+    #: Shards restored from a run checkpoint instead of re-executed
+    #: (non-zero only for checkpointed runs that resumed prior work).
+    resumed_shards: int = 0
 
     @property
     def ok(self) -> bool:
@@ -246,6 +253,8 @@ class LightRW:
         shard_timeout_s: float | None = None,
         retry: RetryPolicy | None = None,
         faults: Sequence[InjectedFault] | None = None,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
     ) -> RunResult:
         """Walk a query batch and model its execution.
 
@@ -295,6 +304,15 @@ class LightRW:
         faults:
             Deterministic :class:`~repro.runtime.InjectedFault` specs for
             testing the failure paths (see :mod:`repro.runtime.faults`).
+        checkpoint_dir:
+            Persist each completed shard's report (atomic write, content
+            checksum) to this directory so a killed run can resume.
+        resume:
+            Restore completed shards from ``checkpoint_dir`` and execute
+            only the missing ones; the resumed run's walks are
+            byte-identical to an uninterrupted one.  Requires an
+            existing, configuration-compatible checkpoint
+            (:class:`~repro.errors.ConfigError` otherwise).
         """
         obs = self._observer_for(observer)
         with use_observer(obs), obs.span(
@@ -319,6 +337,8 @@ class LightRW:
                     max_attempts=int(retries) + 1, shard_timeout_s=shard_timeout_s
                 ),
                 faults=faults,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
             )
 
     def run_restart(
@@ -336,6 +356,8 @@ class LightRW:
         shard_timeout_s: float | None = None,
         retry: RetryPolicy | None = None,
         faults: Sequence[InjectedFault] | None = None,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
     ) -> RunResult:
         """Random walk with restart (personalized PageRank) on the model.
 
@@ -369,6 +391,8 @@ class LightRW:
                     max_attempts=int(retries) + 1, shard_timeout_s=shard_timeout_s
                 ),
                 faults=faults,
+                checkpoint_dir=checkpoint_dir,
+                resume=resume,
             )
 
     # -- runtime plumbing ----------------------------------------------------
@@ -414,14 +438,30 @@ class LightRW:
         strict: bool = True,
         retry: RetryPolicy | None = None,
         faults: Sequence[InjectedFault] | None = None,
+        checkpoint_dir: str | Path | None = None,
+        resume: bool = False,
     ) -> RunResult:
+        if resume and checkpoint_dir is None:
+            raise ConfigError(
+                "resume=True requires a checkpoint_dir pointing at the "
+                "interrupted run's checkpoint directory"
+            )
+        checkpoint = None
+        if checkpoint_dir is not None:
+            checkpoint = RunCheckpoint.open(
+                checkpoint_dir,
+                plan,
+                seed=self.seed,
+                config_hash=config_fingerprint(self.config),
+                resume=resume,
+            )
         backend = create_backend(self.backend, self.runtime_context())
         if faults:
             backend = FaultInjectionBackend(backend, faults)
         scheduler = BatchScheduler(
             parallel=parallel, retry=retry or RetryPolicy(), strict=strict
         )
-        outcome = scheduler.execute(backend, plan)
+        outcome = scheduler.execute(backend, plan, checkpoint=checkpoint)
         return self._package(plan, outcome, strict=strict)
 
     def _package(
@@ -455,6 +495,7 @@ class LightRW:
             ),
             failures=outcome.failures,
             strict=strict,
+            resumed_shards=outcome.resumed,
         )
         obs = current_observer()
         if obs.enabled:

@@ -47,6 +47,39 @@ class SimulationError(ReproError):
     """
 
 
+class SimulationStallError(SimulationError):
+    """Raised by the simulator watchdog when the pipeline stops progressing.
+
+    The watchdog monitors FIFO commit traffic and module activity; when
+    neither advances for its cycle budget the run is livelocked or
+    deadlocked, and this error carries a diagnostic dump of per-FIFO
+    occupancy and per-stage state instead of letting the simulation spin
+    to its (much larger) cycle cap.
+    """
+
+
+class ArtifactCorruptionError(ReproError):
+    """Raised when a stored artifact fails its integrity verification.
+
+    Covers zero-byte and truncated files, unparseable payloads and
+    checksum mismatches for every checked artifact format (NPZ bundles,
+    JSONL telemetry records, bench result JSON, run checkpoints).  The
+    offending file is moved aside so it is never silently re-read; the
+    ``quarantine_path`` attribute names where it went (``None`` when the
+    file could not be moved).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: object = None,
+        quarantine_path: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.quarantine_path = quarantine_path
+
+
 class ShardTimeoutError(ReproError):
     """Raised when one scheduler shard exceeds its per-shard time budget.
 

@@ -28,7 +28,7 @@ from repro.fpga.modules import (
     WeightUpdater,
     WRSSamplerModule,
 )
-from repro.fpga.sim.clock import Simulator
+from repro.fpga.sim.clock import DEFAULT_WATCHDOG_CYCLES, Simulator
 from repro.fpga.sim.fifo import FIFO
 from repro.fpga.sim.trace import PipelineTracer
 from repro.graph.csr import CSRGraph
@@ -54,6 +54,8 @@ class InstanceStats:
     bytes_loaded: int = 0
     #: Busy cycles per pipeline module (module name -> cycles doing work).
     module_busy: dict[str, int] = field(default_factory=dict)
+    #: Backpressure per FIFO (name -> cycles it ended full with no pop).
+    fifo_stalls: dict[str, int] = field(default_factory=dict)
 
     def utilization(self) -> dict[str, float]:
         """Per-module busy fraction of the instance's run time."""
@@ -183,8 +185,12 @@ class _Instance:
         for module in self.sim.modules:
             module.tracer = tracer
 
-    def run(self, max_cycles: int) -> int:
-        return self.sim.run_until(self.controller.done, max_cycles=max_cycles)
+    def run(self, max_cycles: int, watchdog_cycles: int | None) -> int:
+        return self.sim.run_until(
+            self.controller.done,
+            max_cycles=max_cycles,
+            watchdog_cycles=watchdog_cycles,
+        )
 
     def stats(self) -> InstanceStats:
         return InstanceStats(
@@ -203,6 +209,10 @@ class _Instance:
                 "merge": self.merge.busy_cycles,
                 "weight-updater": self.updater.busy_cycles,
                 "wrs-sampler": self.sampler.busy_cycles,
+            },
+            fifo_stalls={
+                fifo.name.split(".", 1)[-1]: fifo.stalled_cycles
+                for fifo in self.sim.fifos
             },
         )
 
@@ -232,6 +242,7 @@ class LightRWAcceleratorSim:
         max_cycles: int = 50_000_000,
         trace: bool = False,
         query_ids: np.ndarray | None = None,
+        watchdog_cycles: int | None = DEFAULT_WATCHDOG_CYCLES,
     ) -> CycleSimResult:
         """Simulate the full deployment; queries are spread round-robin.
 
@@ -247,6 +258,11 @@ class LightRWAcceleratorSim:
         sharded batch replayed with its global ids walks identically to
         the unsharded run.  The result's ``paths``/``query_latency_cycles``
         are keyed by these ids.
+
+        ``watchdog_cycles`` is the no-progress budget before a
+        livelocked/deadlocked pipeline aborts with
+        :class:`~repro.errors.SimulationStallError` (``None`` disables
+        the watchdog, leaving only the ``max_cycles`` backstop).
         """
         starts = np.asarray(starts, dtype=np.int64)
         tracer = PipelineTracer() if trace else None
@@ -277,7 +293,7 @@ class LightRWAcceleratorSim:
             )
             if tracer is not None:
                 instance.attach_tracer(tracer)
-            cycles = instance.run(max_cycles)
+            cycles = instance.run(max_cycles, watchdog_cycles)
             total_cycles = max(total_cycles, cycles)
             paths.update(instance.controller.paths)
             for qid, finish in instance.controller.finish_cycle.items():

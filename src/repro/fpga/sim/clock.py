@@ -5,15 +5,28 @@ completion predicate holds (typically "all queries finished and the
 pipeline drained") or a cycle budget is exhausted — the latter raising
 :class:`~repro.errors.SimulationError` so a deadlocked pipeline model fails
 loudly in tests instead of spinning.
+
+A **watchdog** catches livelock/deadlock long before the cycle budget:
+every committed FIFO transfer and every module busy-cycle advances a
+progress signal, and when the signal stops moving for
+``watchdog_cycles`` the run aborts with a
+:class:`~repro.errors.SimulationStallError` carrying a diagnostic dump of
+per-FIFO occupancy (with push/pop/backpressure counters) and per-module
+state — the information needed to see *which* stage wedged.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SimulationStallError
 from repro.fpga.sim.fifo import FIFO
 from repro.fpga.sim.module import Module
+
+#: Default no-progress budget before the watchdog aborts.  Large enough
+#: that no healthy pipeline phase (a full DRAM burst train is hundreds of
+#: cycles) comes near it, small next to any real cycle budget.
+DEFAULT_WATCHDOG_CYCLES = 100_000
 
 
 class Simulator:
@@ -34,10 +47,55 @@ class Simulator:
             fifo.commit()
         self.cycle += 1
 
+    # -- watchdog -------------------------------------------------------------
+
+    def _progress_signal(self) -> int:
+        """Monotone counter that advances iff the pipeline is doing work."""
+        total = 0
+        for fifo in self.fifos:
+            total += fifo.total_pushed + fifo.total_popped
+        for module in self.modules:
+            total += module.busy_cycles
+        return total
+
+    def _stall_dump(self) -> str:
+        fifo_lines = ", ".join(
+            f"{f.name}[occ {len(f)}/{f.depth}, pushed {f.total_pushed}, "
+            f"popped {f.total_popped}, stalled {f.stalled_cycles}]"
+            for f in self.fifos
+        )
+        module_lines = ", ".join(
+            f"{m.name}[{'idle' if m.is_idle() else 'busy'}, "
+            f"busy_cycles {m.busy_cycles}]"
+            for m in self.modules
+        )
+        return f"FIFOs: {fifo_lines or 'none'}; modules: {module_lines}"
+
     def run_until(
-        self, done: Callable[[], bool], max_cycles: int = 10_000_000
+        self,
+        done: Callable[[], bool],
+        max_cycles: int = 10_000_000,
+        watchdog_cycles: int | None = DEFAULT_WATCHDOG_CYCLES,
     ) -> int:
-        """Run until ``done()`` holds; returns the cycle count."""
+        """Run until ``done()`` holds; returns the cycle count.
+
+        ``watchdog_cycles`` bounds how long the pipeline may go without
+        any FIFO transfer or module busy-cycle before the run is declared
+        livelocked/deadlocked (``None`` disables the watchdog and leaves
+        only the ``max_cycles`` backstop).
+        """
+        if watchdog_cycles is not None and watchdog_cycles <= 0:
+            raise SimulationError(
+                f"watchdog_cycles must be positive or None, got {watchdog_cycles}"
+            )
+        check_interval = (
+            max(1, min(1024, watchdog_cycles // 8 or 1))
+            if watchdog_cycles is not None
+            else 0
+        )
+        last_progress = self._progress_signal() if watchdog_cycles else 0
+        progress_cycle = self.cycle
+        next_check = self.cycle + check_interval
         while not done():
             if self.cycle >= max_cycles:
                 state = ", ".join(
@@ -47,5 +105,24 @@ class Simulator:
                     f"simulation exceeded {max_cycles} cycles "
                     f"(likely deadlock; non-empty FIFOs: {state or 'none'})"
                 )
+            if watchdog_cycles is not None and self.cycle >= next_check:
+                progress = self._progress_signal()
+                if progress != last_progress:
+                    last_progress = progress
+                    progress_cycle = self.cycle
+                elif self.cycle - progress_cycle >= watchdog_cycles:
+                    self._abort_stalled(watchdog_cycles)
+                next_check = self.cycle + check_interval
             self.step()
         return self.cycle
+
+    def _abort_stalled(self, watchdog_cycles: int) -> None:
+        from repro.obs import current_observer, record_watchdog_abort
+
+        obs = current_observer()
+        if obs.enabled:
+            record_watchdog_abort(obs.metrics, cycle=self.cycle)
+        raise SimulationStallError(
+            f"watchdog: no pipeline progress for {watchdog_cycles} cycles "
+            f"(stalled at cycle {self.cycle}); {self._stall_dump()}"
+        )

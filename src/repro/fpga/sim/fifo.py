@@ -25,7 +25,12 @@ class FIFO:
         self._queue: deque[Any] = deque()
         self._pending: list[Any] = []
         self.total_pushed = 0
+        self.total_popped = 0
         self.max_occupancy = 0
+        #: Cycles this FIFO spent full with no pop — the backpressure it
+        #: exerted on its producer (watchdog and ``pipeline.*`` metrics).
+        self.stalled_cycles = 0
+        self._popped_this_cycle = False
 
     # -- producer side -------------------------------------------------------
 
@@ -51,15 +56,23 @@ class FIFO:
     def pop(self) -> Any:
         if not self._queue:
             raise SimulationError(f"pop from empty FIFO {self.name!r}")
+        self.total_popped += 1
+        self._popped_this_cycle = True
         return self._queue.popleft()
 
     # -- simulator hooks -------------------------------------------------------
 
     def commit(self) -> None:
         """Make this cycle's pushes visible; called once per cycle."""
+        # Full for the whole cycle (producer blocked) with no pop to
+        # relieve it: that is one cycle of backpressure.  The cycle that
+        # *fills* the FIFO doesn't count — its push succeeded.
+        if len(self._queue) >= self.depth and not self._popped_this_cycle:
+            self.stalled_cycles += 1
         if self._pending:
             self._queue.extend(self._pending)
             self._pending.clear()
+        self._popped_this_cycle = False
         if len(self._queue) > self.max_occupancy:
             self.max_occupancy = len(self._queue)
 

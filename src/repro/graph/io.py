@@ -6,8 +6,12 @@ Two formats:
   interchange format of SNAP and most graph tools.  Comment lines starting
   with ``#`` are skipped.
 * **NPZ CSR bundles** — the library's native format: the validated CSR
-  arrays written with :func:`numpy.savez_compressed`, round-tripping every
-  attribute bit-exactly.
+  arrays written atomically with an embedded content checksum
+  (:mod:`repro.artifacts`), round-tripping every attribute bit-exactly.
+  Zero-byte, truncated or checksum-failing bundles are quarantined and
+  raised as :class:`~repro.errors.ArtifactCorruptionError`; bundles from
+  a newer format version are rejected with a clear
+  :class:`~repro.errors.GraphFormatError`.
 """
 
 from __future__ import annotations
@@ -16,15 +20,24 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.artifacts import load_npz_checked, save_npz_checked
 from repro.errors import GraphFormatError
 from repro.graph.builders import from_edge_list
 from repro.graph.csr import CSRGraph
 
-_FORMAT_VERSION = 1
+#: Version 1 wrote plain ``np.savez_compressed`` bundles; version 2 adds
+#: the embedded content checksum and atomic writes.  Both load; anything
+#: newer is rejected (forward compatibility is explicit, never silent).
+_FORMAT_VERSION = 2
+_OLDEST_READABLE_VERSION = 1
 
 
 def save_csr_npz(graph: CSRGraph, path: str | Path) -> None:
-    """Write a CSR bundle; extension ``.npz`` is appended if missing."""
+    """Write a CSR bundle; extension ``.npz`` is appended if missing.
+
+    The write is atomic (tmp file + fsync + rename) and the bundle embeds
+    a content checksum that :func:`load_csr_npz` verifies.
+    """
     payload: dict[str, np.ndarray] = {
         "format_version": np.int64(_FORMAT_VERSION),
         "row_index": graph.row_index,
@@ -36,26 +49,42 @@ def save_csr_npz(graph: CSRGraph, path: str | Path) -> None:
         value = getattr(graph, attr)
         if value is not None:
             payload[attr] = value
-    np.savez_compressed(str(path), **payload)
+    save_npz_checked(path, payload)
 
 
 def load_csr_npz(path: str | Path) -> CSRGraph:
-    """Read a CSR bundle written by :func:`save_csr_npz` (validates on load)."""
-    with np.load(str(path), allow_pickle=False) as bundle:
-        version = int(bundle["format_version"])
-        if version != _FORMAT_VERSION:
-            raise GraphFormatError(
-                f"unsupported CSR bundle version {version} (expected {_FORMAT_VERSION})"
-            )
-        return CSRGraph(
-            row_index=bundle["row_index"],
-            col_index=bundle["col_index"],
-            edge_weights=bundle["edge_weights"] if "edge_weights" in bundle else None,
-            vertex_labels=bundle["vertex_labels"] if "vertex_labels" in bundle else None,
-            edge_labels=bundle["edge_labels"] if "edge_labels" in bundle else None,
-            directed=bool(bundle["directed"]),
-            name=str(bundle["name"]),
+    """Read a CSR bundle written by :func:`save_csr_npz` (validates on load).
+
+    Raises :class:`~repro.errors.ArtifactCorruptionError` (after
+    quarantining the file) for zero-byte, truncated or checksum-failing
+    bundles, and :class:`~repro.errors.GraphFormatError` for bundles that
+    are readable but not a supported CSR format version.
+    """
+    bundle = load_npz_checked(path)
+    if "format_version" not in bundle:
+        raise GraphFormatError(
+            f"{path}: not a CSR bundle (no format_version entry)"
         )
+    version = int(bundle["format_version"])
+    if version > _FORMAT_VERSION:
+        raise GraphFormatError(
+            f"{path}: CSR bundle version {version} is newer than this "
+            f"library supports (up to {_FORMAT_VERSION}); upgrade the library"
+        )
+    if version < _OLDEST_READABLE_VERSION:
+        raise GraphFormatError(
+            f"{path}: unsupported CSR bundle version {version} "
+            f"(supported: {_OLDEST_READABLE_VERSION}..{_FORMAT_VERSION})"
+        )
+    return CSRGraph(
+        row_index=bundle["row_index"],
+        col_index=bundle["col_index"],
+        edge_weights=bundle.get("edge_weights"),
+        vertex_labels=bundle.get("vertex_labels"),
+        edge_labels=bundle.get("edge_labels"),
+        directed=bool(bundle["directed"]),
+        name=str(bundle["name"]),
+    )
 
 
 def save_edge_list_text(graph: CSRGraph, path: str | Path) -> None:

@@ -27,10 +27,13 @@ Collection is opt-in and the disabled path is a no-op::
 """
 
 from repro.obs.adapters import (
+    record_checkpoint,
+    record_resumed_shard,
     record_retry,
     record_run,
     record_shard,
     record_shard_failure,
+    record_watchdog_abort,
 )
 from repro.obs.export import (
     append_jsonl,
@@ -85,10 +88,13 @@ __all__ = [
     "current_observer",
     "prometheus_text",
     "read_jsonl",
+    "record_checkpoint",
+    "record_resumed_shard",
     "record_retry",
     "record_run",
     "record_shard",
     "record_shard_failure",
+    "record_watchdog_abort",
     "run_record",
     "series_key",
     "span",

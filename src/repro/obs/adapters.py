@@ -37,7 +37,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.scheduler import ShardFailure
     from repro.runtime.timing import TimingBreakdown
 
-__all__ = ["record_retry", "record_run", "record_shard", "record_shard_failure"]
+__all__ = [
+    "record_checkpoint",
+    "record_resumed_shard",
+    "record_retry",
+    "record_run",
+    "record_shard",
+    "record_shard_failure",
+    "record_watchdog_abort",
+]
 
 
 def _family(native: Any) -> str:
@@ -112,6 +120,10 @@ def _record_cycle_shard(
             metrics.counter(
                 "pipeline.busy_cycles", module=module, **labels
             ).inc(busy)
+        for fifo, stalled in getattr(stats, "fifo_stalls", {}).items():
+            metrics.counter(
+                "pipeline.fifo_stall_cycles", fifo=fifo, **labels
+            ).inc(stalled)
 
 
 def _record_cpu_shard(
@@ -141,6 +153,29 @@ def record_shard_failure(
     metrics.counter(
         "run.failed_queries", backend=backend, shard=failure.shard
     ).inc(failure.num_queries)
+
+
+# -- durability events --------------------------------------------------------
+
+
+def record_checkpoint(
+    metrics: MetricsRegistry, *, backend: str, shard: int
+) -> None:
+    """Count one shard report persisted to disk (``run.checkpoints``)."""
+    metrics.counter("run.checkpoints", backend=backend, shard=shard).inc()
+
+
+def record_resumed_shard(
+    metrics: MetricsRegistry, *, backend: str, shard: int
+) -> None:
+    """Count one shard restored from a checkpoint (``run.resumed_shards``)."""
+    metrics.counter("run.resumed_shards", backend=backend, shard=shard).inc()
+
+
+def record_watchdog_abort(metrics: MetricsRegistry, *, cycle: int) -> None:
+    """Count one simulator watchdog trip (``sim.watchdog_aborts``)."""
+    metrics.counter("sim.watchdog_aborts").inc()
+    metrics.gauge("sim.watchdog_abort_cycle").set(cycle)
 
 
 # -- batch-level gauges and distributions -------------------------------------

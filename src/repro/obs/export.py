@@ -19,11 +19,22 @@ Three output formats cover the common consumers:
 from __future__ import annotations
 
 import json
+import logging
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from repro.artifacts import (
+    atomic_write_text,
+    checked_record,
+    quarantine,
+    record_checksum_ok,
+)
+from repro.errors import ArtifactCorruptionError
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.spans import Observer, SpanRecord
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.api import RunResult
@@ -70,20 +81,63 @@ def run_record(result: "RunResult", observer: Observer | None = None) -> dict:
 
 
 def append_jsonl(path: str | Path, record: dict) -> Path:
-    """Append one record as a single line of JSON."""
+    """Append one record as a single checksummed line of JSON.
+
+    JSONL appends cannot be made atomic by rename, so integrity is per
+    record: each line embeds the digest of its own body and the append is
+    fsynced.  A crash can therefore only ever tear the *final* line —
+    which :func:`read_jsonl` detects and skips.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(checked_record(record), default=str) + "\n"
     with path.open("a") as handle:
-        handle.write(json.dumps(record, default=str) + "\n")
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
     return path
 
 
+def _corrupt_jsonl(path: Path, reason: str) -> None:
+    moved = quarantine(path)
+    where = f" (quarantined to {moved})" if moved else ""
+    raise ArtifactCorruptionError(
+        f"{path}: {reason}{where}", path=path, quarantine_path=moved
+    )
+
+
 def read_jsonl(path: str | Path) -> list[dict]:
-    records = []
-    for line in Path(path).read_text().splitlines():
-        line = line.strip()
-        if line:
-            records.append(json.loads(line))
+    """Read and verify JSONL records (``checksum`` keys stripped).
+
+    An unparseable *final* line is the expected signature of a crash
+    mid-append and is skipped with a warning; an unparseable line or a
+    checksum mismatch anywhere else means the file was damaged after
+    writing, so it is quarantined and raised as
+    :class:`~repro.errors.ArtifactCorruptionError`.  Records written
+    before checksums existed load unverified.
+    """
+    path = Path(path)
+    lines = path.read_text().splitlines()
+    records: list[dict] = []
+    for number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if number == len(lines):
+                logger.warning(
+                    "%s:%d: skipping torn final record (interrupted append)",
+                    path, number,
+                )
+                continue
+            _corrupt_jsonl(path, f"line {number}: unparseable JSON mid-file")
+        if not isinstance(record, dict):
+            _corrupt_jsonl(path, f"line {number}: record is not a JSON object")
+        if record_checksum_ok(record) is False:
+            _corrupt_jsonl(path, f"line {number}: record checksum mismatch")
+        records.append({k: v for k, v in record.items() if k != "checksum"})
     return records
 
 
@@ -371,12 +425,9 @@ def write_chrome_trace(
     cycle_result: "CycleSimResult | None" = None,
     frequency_hz: float = 300e6,
 ) -> Path:
-    """Serialize :func:`chrome_trace` to ``path``."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
+    """Serialize :func:`chrome_trace` to ``path`` (atomic write)."""
     trace = chrome_trace(
         spans=spans, tracer=tracer, cycle_result=cycle_result,
         frequency_hz=frequency_hz,
     )
-    path.write_text(json.dumps(trace, default=str))
-    return path
+    return atomic_write_text(path, json.dumps(trace, default=str))

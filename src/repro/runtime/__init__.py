@@ -44,6 +44,12 @@ from repro.runtime.backends import (
     resolve_backend,
     unregister_backend,
 )
+from repro.runtime.durability import (
+    RunCheckpoint,
+    SweepCheckpoint,
+    plan_fingerprint,
+    resume_run,
+)
 from repro.runtime.faults import (
     FaultInjectionBackend,
     InjectedFault,
@@ -82,17 +88,21 @@ __all__ = [
     "InjectedFaultError",
     "QueryShard",
     "RetryPolicy",
+    "RunCheckpoint",
     "RuntimeContext",
     "ShardFailure",
+    "SweepCheckpoint",
     "TimingBreakdown",
     "backend_capabilities",
     "backend_names",
     "comparison_backends",
     "create_backend",
     "describe_backends",
+    "plan_fingerprint",
     "plan_run",
     "register_backend",
     "resolve_backend",
+    "resume_run",
     "run_plan",
     "unregister_backend",
 ]

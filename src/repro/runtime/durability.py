@@ -1,0 +1,334 @@
+"""Durable runs: checkpoint/resume across process boundaries.
+
+PR 3 made a single process survive shard failures; this module makes the
+*run* survive the process.  Two checkpoint granularities:
+
+* :class:`RunCheckpoint` — one scheduler batch.  Every completed shard's
+  :class:`~repro.runtime.backends.BackendReport` is persisted (atomic
+  write, content checksum) the moment it finishes, keyed by shard index,
+  together with a ``run.json`` carrying a fingerprint of the planned run
+  (backend, algorithm, steps, the exact sampled starts, shard layout,
+  seed, config hash).  A resumed run loads the completed shards, executes
+  only the missing ones, and — because per-query RNG lanes are keyed by
+  *global* query id — merges to byte-identical walks versus an
+  uninterrupted run.
+* :class:`SweepCheckpoint` — one bench sweep.  ``lightrw-bench`` records
+  each experiment name as it completes, so an interrupted ``all`` sweep
+  resumes at the first unfinished experiment.
+
+Corruption is handled, not trusted: every checkpoint file is verified on
+load, and a file that fails verification is quarantined and its shard
+simply re-executed — a damaged checkpoint costs time, never correctness.
+
+Fingerprints make resumption safe: resuming with a different seed, batch,
+shard layout or accelerator config is a
+:class:`~repro.errors.ConfigError` at plan time, before any walk starts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import pickle
+import re
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.artifacts import (
+    read_binary_artifact,
+    read_json_artifact,
+    write_binary_artifact,
+    write_json_artifact,
+)
+from repro.errors import ArtifactCorruptionError, ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.api import RunResult
+    from repro.runtime.backends import BackendReport
+    from repro.runtime.plan import ExecutionPlan
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "RunCheckpoint",
+    "SweepCheckpoint",
+    "plan_fingerprint",
+    "resume_run",
+]
+
+#: Metadata file identifying a run-checkpoint directory.
+RUN_FILE = "run.json"
+#: Metadata file identifying a bench-sweep checkpoint directory.
+SWEEP_FILE = "sweep.json"
+
+_SHARD_PATTERN = re.compile(r"^shard-(\d{4,})\.ckpt$")
+
+
+def plan_fingerprint(plan: "ExecutionPlan", seed: int, config_hash: str = "") -> str:
+    """Stable identity of one planned run, for checkpoint compatibility.
+
+    Two runs share a fingerprint iff they would execute the same walks:
+    same backend, algorithm (name and parameters), step count, sampled
+    starts (byte-exact), extrapolation target, shard layout, seed and
+    accelerator config.  Timing-only knobs (latency recording, PCIe
+    accounting, tracing) are deliberately excluded.
+    """
+    algorithm_params = {
+        k: v
+        for k, v in sorted(vars(plan.algorithm).items())
+        if not k.startswith("_")
+    }
+    identity = {
+        "backend": plan.backend,
+        "algorithm": plan.algorithm.name,
+        "algorithm_params": algorithm_params,
+        "n_steps": plan.n_steps,
+        "total_queries": plan.total_queries,
+        "shards": [(s.index, s.offset, s.num_queries) for s in plan.shards],
+        "restart_alpha": plan.restart_alpha,
+        "seed": int(seed),
+        "config_hash": config_hash,
+    }
+    digest = hashlib.sha256(
+        json.dumps(identity, sort_keys=True, default=str).encode()
+    )
+    digest.update(plan.starts.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def _strip_report(report: "BackendReport") -> "BackendReport":
+    """Drop the non-essential heavyweights before serializing a report.
+
+    The walk session holds a graph reference (re-derivable, large) and a
+    cycle run may hold a pipeline tracer; neither affects the merged
+    paths, lengths, latencies or timing totals a resumed run needs.
+    """
+    report = dataclasses.replace(report, session=None)
+    breakdown = report.breakdown
+    detail = getattr(breakdown, "detail", None)
+    if detail is not None and getattr(detail, "tracer", None) is not None:
+        breakdown = dataclasses.replace(
+            breakdown, detail=dataclasses.replace(detail, tracer=None)
+        )
+        report = dataclasses.replace(report, breakdown=breakdown)
+    return report
+
+
+class RunCheckpoint:
+    """Shard-granular persistence of one scheduler batch.
+
+    Use :meth:`open` (validates or creates the directory), then hand the
+    instance to :meth:`BatchScheduler.execute
+    <repro.runtime.scheduler.BatchScheduler.execute>`; the scheduler
+    records each shard as it completes and skips the shards
+    :meth:`load_completed` returns.
+    """
+
+    def __init__(self, directory: Path, fingerprint: str) -> None:
+        self.directory = Path(directory)
+        self.fingerprint = fingerprint
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        plan: "ExecutionPlan",
+        *,
+        seed: int,
+        config_hash: str = "",
+        resume: bool = False,
+    ) -> "RunCheckpoint":
+        """Create or attach to a checkpoint directory for ``plan``.
+
+        ``resume=True`` requires an existing, fingerprint-compatible
+        checkpoint (anything else is a :class:`ConfigError` before any
+        shard executes); ``resume=False`` starts clean, discarding shard
+        files left by a previous run of the same directory.
+        """
+        directory = Path(directory)
+        fingerprint = plan_fingerprint(plan, seed, config_hash)
+        checkpoint = cls(directory, fingerprint)
+        run_file = directory / RUN_FILE
+        existing = None
+        if run_file.exists():
+            try:
+                existing = read_json_artifact(run_file, kind="run-checkpoint")
+            except ArtifactCorruptionError as exc:
+                # The metadata is quarantined; the shard files cannot be
+                # trusted to belong to this plan, so start over.
+                logger.warning("checkpoint metadata unusable: %s", exc)
+                existing = None
+        if resume:
+            if existing is None:
+                raise ConfigError(
+                    f"cannot resume: {run_file} does not exist or is not a "
+                    f"readable run checkpoint (start a run with this "
+                    f"checkpoint directory first)"
+                )
+            if existing.get("fingerprint") != fingerprint:
+                raise ConfigError(
+                    f"cannot resume from {directory}: the checkpoint was "
+                    f"created by a different run configuration (fingerprint "
+                    f"{existing.get('fingerprint')}, this run {fingerprint}); "
+                    f"re-issue the original backend/algorithm/seed/shard "
+                    f"arguments or start a fresh checkpoint directory"
+                )
+            return checkpoint
+        if existing is None or existing.get("fingerprint") != fingerprint:
+            checkpoint._discard_shards()
+        from repro import __version__
+
+        write_json_artifact(
+            run_file,
+            {
+                "fingerprint": fingerprint,
+                "backend": plan.backend,
+                "algorithm": plan.algorithm.name,
+                "n_steps": plan.n_steps,
+                "total_queries": plan.total_queries,
+                "sampled_queries": plan.num_sampled,
+                "shards": plan.shard_count,
+                "seed": int(seed),
+                "config_hash": config_hash,
+                "package_version": __version__,
+            },
+            kind="run-checkpoint",
+        )
+        return checkpoint
+
+    def _discard_shards(self) -> None:
+        if not self.directory.exists():
+            return
+        for path in self.directory.iterdir():
+            if _SHARD_PATTERN.match(path.name):
+                path.unlink(missing_ok=True)
+
+    # -- shard records -------------------------------------------------------
+
+    def shard_path(self, index: int) -> Path:
+        return self.directory / f"shard-{index:04d}.ckpt"
+
+    def _shard_kind(self) -> str:
+        # Binding the plan fingerprint into the artifact kind means a
+        # shard file from a different run fails verification instead of
+        # being merged into the wrong batch.
+        return f"shard-report:{self.fingerprint}"
+
+    def record_shard(self, index: int, report: "BackendReport") -> Path:
+        """Persist one completed shard's report (atomic, checksummed)."""
+        payload = pickle.dumps(
+            _strip_report(report), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        return write_binary_artifact(
+            self.shard_path(index), payload, kind=self._shard_kind()
+        )
+
+    def load_completed(self) -> dict[int, "BackendReport"]:
+        """Verified shard reports on disk, keyed by shard index.
+
+        A shard file that fails verification (truncated write, checksum
+        mismatch, different run) is quarantined and simply omitted — the
+        scheduler re-executes that shard, reproducing identical walks.
+        """
+        restored: dict[int, "BackendReport"] = {}
+        if not self.directory.exists():
+            return restored
+        for path in sorted(self.directory.iterdir()):
+            match = _SHARD_PATTERN.match(path.name)
+            if not match:
+                continue
+            index = int(match.group(1))
+            try:
+                payload = read_binary_artifact(path, kind=self._shard_kind())
+                restored[index] = pickle.loads(payload)
+            except ArtifactCorruptionError as exc:
+                logger.warning(
+                    "shard %d checkpoint unusable, will re-execute: %s",
+                    index, exc,
+                )
+            except Exception as exc:  # noqa: BLE001 - unpickle garbage
+                logger.warning(
+                    "shard %d checkpoint failed to deserialize (%s: %s), "
+                    "will re-execute", index, type(exc).__name__, exc,
+                )
+        return restored
+
+    def completed_indices(self) -> tuple[int, ...]:
+        """Shard indices with a verifiable checkpoint on disk."""
+        return tuple(sorted(self.load_completed()))
+
+
+class SweepCheckpoint:
+    """Experiment-granular persistence of one bench sweep."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / SWEEP_FILE
+
+    @classmethod
+    def open(
+        cls, directory: str | Path, *, resume: bool = False
+    ) -> "SweepCheckpoint":
+        """Attach to a sweep checkpoint; ``resume`` requires it to exist.
+
+        ``resume=False`` starts the sweep clean (a leftover completion
+        list from a previous sweep of the same directory is discarded).
+        """
+        checkpoint = cls(directory)
+        if resume and not checkpoint.path.exists():
+            raise ConfigError(
+                f"cannot resume: {checkpoint.path} does not exist (start a "
+                f"sweep with this checkpoint directory first)"
+            )
+        if not resume:
+            write_json_artifact(checkpoint.path, {"completed": []}, kind="bench-sweep")
+        return checkpoint
+
+    def completed(self) -> list[str]:
+        """Experiment names recorded as finished (order preserved)."""
+        if not self.path.exists():
+            return []
+        try:
+            payload = read_json_artifact(self.path, kind="bench-sweep")
+        except ArtifactCorruptionError as exc:
+            logger.warning("sweep checkpoint unusable, starting over: %s", exc)
+            return []
+        done = payload.get("completed", [])
+        return [str(name) for name in done] if isinstance(done, list) else []
+
+    def mark_done(self, name: str) -> None:
+        """Record one finished experiment (read-modify-write, atomic)."""
+        done = self.completed()
+        if name not in done:
+            done.append(name)
+        write_json_artifact(
+            self.path, {"completed": done}, kind="bench-sweep"
+        )
+
+
+def resume_run(
+    engine,
+    algorithm,
+    n_steps: int,
+    checkpoint_dir: str | Path,
+    **kwargs,
+) -> "RunResult":
+    """Resume an interrupted :meth:`LightRW.run` from its checkpoint.
+
+    Thin convenience over ``engine.run(..., checkpoint_dir=...,
+    resume=True)``; validates up front that a checkpoint actually exists
+    so a typo'd directory is a :class:`ConfigError`, not a fresh run.
+    """
+    run_file = Path(checkpoint_dir) / RUN_FILE
+    if not run_file.exists():
+        raise ConfigError(
+            f"cannot resume: no run checkpoint at {run_file} (start a run "
+            f"with checkpoint_dir={str(checkpoint_dir)!r} first)"
+        )
+    return engine.run(
+        algorithm, n_steps, checkpoint_dir=checkpoint_dir, resume=True, **kwargs
+    )

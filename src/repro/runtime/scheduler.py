@@ -41,12 +41,15 @@ import numpy as np
 from repro.errors import ConfigError, ShardExecutionError, ShardTimeoutError
 from repro.obs import (
     current_observer,
+    record_checkpoint,
+    record_resumed_shard,
     record_retry,
     record_shard,
     record_shard_failure,
     use_observer,
 )
 from repro.runtime.backends import Backend, BackendReport
+from repro.runtime.durability import RunCheckpoint
 from repro.runtime.plan import ExecutionPlan, QueryShard
 
 logger = logging.getLogger(__name__)
@@ -166,6 +169,8 @@ class BatchOutcome:
     failures: tuple[ShardFailure, ...] = ()
     #: Total retry attempts consumed across every shard.
     retries: int = 0
+    #: Shards restored from a checkpoint instead of re-executed.
+    resumed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -239,13 +244,44 @@ class BatchScheduler:
                 f"max_workers must be >= 1, got {self.max_workers}"
             )
 
-    def execute(self, backend: Backend, plan: ExecutionPlan) -> BatchOutcome:
-        """Run every shard of ``plan`` on ``backend`` and merge the survivors."""
+    def execute(
+        self,
+        backend: Backend,
+        plan: ExecutionPlan,
+        checkpoint: RunCheckpoint | None = None,
+    ) -> BatchOutcome:
+        """Run every shard of ``plan`` on ``backend`` and merge the survivors.
+
+        With a ``checkpoint``, shards already persisted in it are restored
+        instead of re-executed, and every shard that completes here is
+        persisted the moment it finishes — so a killed process resumes at
+        the first unfinished shard and, because per-query RNG lanes are
+        keyed by global query id, merges to byte-identical walks.
+        """
         shards = plan.shards
         if not shards:
             raise ValueError("plan has no shards to execute")
         obs = current_observer()
         policy = self.retry
+
+        restored: dict[int, BackendReport] = {}
+        if checkpoint is not None:
+            valid = {shard.index for shard in shards}
+            restored = {
+                index: report
+                for index, report in checkpoint.load_completed().items()
+                if index in valid
+            }
+            if restored:
+                logger.info(
+                    "resume: restoring %d of %d shard(s) from %s",
+                    len(restored), len(shards), checkpoint.directory,
+                )
+                if obs.enabled:
+                    for index in sorted(restored):
+                        record_resumed_shard(
+                            obs.metrics, backend=backend.name, shard=index
+                        )
 
         def attempt_shard(shard: QueryShard, attempt: int) -> BackendReport:
             def call() -> BackendReport:
@@ -282,7 +318,7 @@ class BatchScheduler:
                     if delay > 0:
                         time.sleep(delay)
                 try:
-                    return attempt_shard(shard, attempt), attempt
+                    report = attempt_shard(shard, attempt)
                 except Exception as exc:  # noqa: BLE001 - isolation boundary
                     last = exc
                     logger.warning(
@@ -290,6 +326,23 @@ class BatchScheduler:
                         shard.index, attempt, policy.max_attempts,
                         backend.name, type(exc).__name__, exc,
                     )
+                else:
+                    if checkpoint is not None:
+                        try:
+                            checkpoint.record_shard(shard.index, report)
+                            if obs.enabled:
+                                record_checkpoint(
+                                    obs.metrics, backend=backend.name,
+                                    shard=shard.index,
+                                )
+                        except (OSError, TypeError, ValueError) as exc:
+                            # A checkpoint that cannot be written costs
+                            # resumability, never the run itself.
+                            logger.warning(
+                                "failed to checkpoint shard %d: %s: %s",
+                                shard.index, type(exc).__name__, exc,
+                            )
+                    return report, attempt
             failure = ShardFailure(
                 shard=shard.index,
                 offset=shard.offset,
@@ -301,27 +354,38 @@ class BatchScheduler:
             )
             return failure, policy.max_attempts
 
+        pending = [shard for shard in shards if shard.index not in restored]
         use_pool = (
-            self.parallel and len(shards) > 1 and backend.capabilities.thread_safe
+            self.parallel and len(pending) > 1 and backend.capabilities.thread_safe
         )
         if use_pool:
             requested = self.max_workers or (os.cpu_count() or 1)
-            workers = min(requested, len(shards))
+            workers = min(requested, len(pending))
             logger.debug(
                 "executing %d shard(s) on %s via %d worker(s)",
-                len(shards), backend.name, workers,
+                len(pending), backend.name, workers,
             )
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(run_shard, shards))
+                executed = list(pool.map(run_shard, pending))
         else:
             logger.debug(
-                "executing %d shard(s) on %s sequentially", len(shards), backend.name
+                "executing %d shard(s) on %s sequentially", len(pending), backend.name
             )
-            outcomes = [run_shard(shard) for shard in shards]
+            executed = [run_shard(shard) for shard in pending]
+
+        # Stitch restored and freshly executed shards back into shard
+        # order so the merge stays in global query-id order.
+        by_index = {shard.index: outcome for shard, outcome in zip(pending, executed)}
+        outcomes = [
+            (restored[shard.index], 0)
+            if shard.index in restored
+            else by_index[shard.index]
+            for shard in shards
+        ]
 
         reports = [r for r, _ in outcomes if isinstance(r, BackendReport)]
         failures = tuple(r for r, _ in outcomes if isinstance(r, ShardFailure))
-        retries = sum(attempts - 1 for _, attempts in outcomes)
+        retries = sum(max(0, attempts - 1) for _, attempts in outcomes)
         if failures:
             if obs.enabled:
                 for failure in failures:
@@ -349,7 +413,12 @@ class BatchScheduler:
             )
         with obs.span("merge", backend=backend.name, shards=len(reports)):
             merged = backend.merge(plan, reports)
-        return BatchOutcome(report=merged, failures=failures, retries=retries)
+        return BatchOutcome(
+            report=merged,
+            failures=failures,
+            retries=retries,
+            resumed=len(restored),
+        )
 
 
 def run_plan(

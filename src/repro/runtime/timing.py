@@ -160,9 +160,12 @@ class FPGACycleBreakdown(TimingBreakdown):
         for idx in range(n_instances):
             shard_stats = [n.instances[idx] for n in natives if idx < len(n.instances)]
             module_busy: dict[str, int] = {}
+            fifo_stalls: dict[str, int] = {}
             for stats in shard_stats:
                 for module, busy in stats.module_busy.items():
                     module_busy[module] = module_busy.get(module, 0) + busy
+                for fifo, stalled in stats.fifo_stalls.items():
+                    fifo_stalls[fifo] = fifo_stalls.get(fifo, 0) + stalled
             instances.append(
                 InstanceStats(
                     cycles=sum(s.cycles for s in shard_stats),
@@ -174,6 +177,7 @@ class FPGACycleBreakdown(TimingBreakdown):
                     bytes_valid=sum(s.bytes_valid for s in shard_stats),
                     bytes_loaded=sum(s.bytes_loaded for s in shard_stats),
                     module_busy=module_busy,
+                    fifo_stalls=fifo_stalls,
                 )
             )
         return CycleSimResult(
