@@ -1,0 +1,497 @@
+"""Benchmark regression gate: ``lightrw-bench perfgate``.
+
+LightRW's argument is won or lost on measured throughput, so performance
+is machine-checked like correctness: this module times a pinned workload
+matrix — facade runs (backend × algorithm × execution mode), the
+vectorized cache-trace kernels against their stateful per-access loops,
+and the cycle simulator's tick loop — writes the numbers as a
+sequence-numbered ``BENCH_perf_<n>.json`` artifact, and fails when any
+gated metric regresses beyond a tolerance against the committed
+``BENCH_perf_baseline.json``.
+
+All gated metrics are higher-is-better throughput/speedup figures, so a
+regression is ``current < baseline * (1 - tolerance)``; absolute seconds
+ride along for humans but are never gated (they are machine-dependent —
+the ``speedup`` ratio is the machine-independent acceptance figure).
+
+Exit codes: 0 = no regression, 1 = regression, 2 = configuration error
+(e.g. no baseline; record one with ``--write-baseline``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.artifacts import read_json_artifact, write_json_artifact
+from repro.errors import ReproError
+
+__all__ = ["GATED_METRICS", "Workload", "compare_runs", "default_workloads", "main"]
+
+#: Default baseline file (committed at the repo root).
+BASELINE_NAME = "BENCH_perf_baseline.json"
+
+#: Allowed fractional slowdown before a gated metric fails.
+DEFAULT_TOLERANCE = 0.25
+
+#: Metrics compared against the baseline — all higher-is-better.
+GATED_METRICS = ("steps_per_s", "accesses_per_s", "speedup", "cycles_per_s")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One pinned measurement: a key, a runner kind and its parameters."""
+
+    key: str
+    kind: str  # "facade" | "cache-sim" | "sim-tick"
+    quick: bool  # part of the --quick subset?
+    params: dict
+
+
+def default_workloads() -> list[Workload]:
+    """The pinned matrix; keys are stable so baselines stay comparable."""
+    out: list[Workload] = []
+    for backend in ("fpga-model", "cpu-baseline"):
+        for algorithm in ("uniform", "node2vec"):
+            for mode in ("sequential", "thread", "process"):
+                quick = algorithm == "uniform" and (
+                    (backend == "fpga-model" and mode != "thread")
+                    or (backend == "cpu-baseline" and mode == "sequential")
+                )
+                out.append(
+                    Workload(
+                        key=f"run:{backend}:{algorithm}:{mode}",
+                        kind="facade",
+                        quick=quick,
+                        params={
+                            "backend": backend,
+                            "algorithm": algorithm,
+                            "mode": mode,
+                            "shards": 4,
+                        },
+                    )
+                )
+    out.append(
+        Workload(
+            key="run:fpga-cycle:uniform:sequential",
+            kind="facade",
+            quick=False,
+            params={
+                "backend": "fpga-cycle",
+                "algorithm": "uniform",
+                "mode": "sequential",
+                "shards": 1,
+                "queries": 32,
+                "length": 8,
+            },
+        )
+    )
+    out.append(Workload("cache-sim-lru", "cache-sim", True, {"policy": "lru"}))
+    out.append(Workload("cache-sim-fifo", "cache-sim", True, {"policy": "fifo"}))
+    out.append(Workload("sim-tick", "sim-tick", True, {}))
+    return out
+
+
+# -- workload runners ---------------------------------------------------------
+
+_GRAPH_CACHE: dict[tuple, object] = {}
+
+
+def _facade_graph(scale: int, seed: int):
+    from repro.graph.generators import rmat_graph
+
+    key = ("graph", scale, seed)
+    if key not in _GRAPH_CACHE:
+        _GRAPH_CACHE[key] = rmat_graph(scale, edge_factor=8, seed=seed)
+    return _GRAPH_CACHE[key]
+
+
+def _walk_trace(scale: int, seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """The cache-ablation access trace (mirrors ``ablation-cache``)."""
+    from repro.walks.stepper import PWRSSampler, run_walks
+    from repro.walks.uniform import UniformWalk
+
+    key = ("trace", scale, seed)
+    if key not in _GRAPH_CACHE:
+        graph = _facade_graph(scale, seed)
+        starts = graph.nonzero_degree_vertices()
+        if starts.size > 4096:
+            starts = starts[:: starts.size // 4096][:4096]
+        session = run_walks(graph, starts, 15, UniformWalk(), PWRSSampler(16, seed))
+        trace = np.concatenate([r.curr for r in session.records])
+        _GRAPH_CACHE[key] = (trace, graph.degrees)
+    return _GRAPH_CACHE[key]
+
+
+def _run_facade(workload: Workload, args, repeat: int) -> dict:
+    from repro.core.api import LightRW
+    from repro.core.queries import make_queries
+    from repro.walks.node2vec import Node2VecWalk
+    from repro.walks.uniform import UniformWalk
+
+    params = workload.params
+    graph = _facade_graph(args.rmat_scale_run, args.seed)
+    n_queries = int(params.get("queries", args.queries))
+    length = int(params.get("length", args.length))
+    algorithm = (
+        Node2VecWalk(p=2.0, q=0.5)
+        if params["algorithm"] == "node2vec"
+        else UniformWalk()
+    )
+    engine = LightRW(graph, backend=params["backend"], seed=args.seed)
+    starts = make_queries(graph, n_queries=n_queries, seed=args.seed)
+    best_s = float("inf")
+    total_steps = 0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = engine.run(
+            algorithm,
+            length,
+            starts=starts,
+            shards=int(params.get("shards", 4)),
+            mode=params["mode"],
+            record_latency=False,
+        )
+        best_s = min(best_s, time.perf_counter() - t0)
+        total_steps = result.total_steps
+    return {
+        "steps_per_s": total_steps / best_s,
+        "wall_s": best_s,
+        "total_steps": total_steps,
+    }
+
+
+def _run_cache_sim(workload: Workload, args, repeat: int) -> dict:
+    from repro.fpga.cache import FIFOCache, LRUCache, simulate_fifo, simulate_lru
+
+    policy = workload.params["policy"]
+    trace, degrees = _walk_trace(args.rmat_scale, args.seed)
+    capacity, ways = 1 << 10, 4
+    vectorized = simulate_lru if policy == "lru" else simulate_fifo
+    stateful_cls = LRUCache if policy == "lru" else FIFOCache
+
+    vector_s = float("inf")
+    hits = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        hits = vectorized(trace, capacity, ways=ways)
+        vector_s = min(vector_s, time.perf_counter() - t0)
+
+    # The reference loop reproduces the hot path the vectorized kernels
+    # replaced in FPGAPerfModel._cache_hits: a stateful cache walked one
+    # access at a time into a per-access hit mask.
+    loop_s = float("inf")
+    loop_hits = None
+    for _ in range(repeat):
+        cache = stateful_cls(capacity, ways=ways)
+        t0 = time.perf_counter()
+        loop_hits = np.zeros(trace.size, dtype=bool)
+        for i, vertex in enumerate(trace.tolist()):
+            loop_hits[i] = cache.access(vertex, int(degrees[vertex]))
+        loop_s = min(loop_s, time.perf_counter() - t0)
+
+    if not np.array_equal(hits, loop_hits):
+        raise ReproError(
+            f"cache-sim-{policy}: vectorized hit mask disagrees with the "
+            f"stateful cache ({int(hits.sum())} vs {int(loop_hits.sum())} hits)"
+        )
+    return {
+        "vector_s": vector_s,
+        "loop_s": loop_s,
+        "speedup": loop_s / vector_s,
+        "accesses_per_s": trace.size / vector_s,
+        "accesses": int(trace.size),
+        "hit_ratio": float(hits.mean()),
+    }
+
+
+def _run_sim_tick(workload: Workload, args, repeat: int) -> dict:
+    from repro.fpga.sim.clock import Simulator
+    from repro.fpga.sim.fifo import FIFO
+    from repro.fpga.sim.module import Module
+
+    events = int(args.events)
+
+    class Producer(Module):
+        def __init__(self, fifo: FIFO, total: int) -> None:
+            super().__init__("producer")
+            self.fifo = fifo
+            self.total = total
+            self.sent = 0
+
+        def tick(self, cycle: int) -> None:
+            if self.sent < self.total and self.fifo.can_push():
+                self.fifo.push(self.sent)
+                self.sent += 1
+                self.busy_cycles += 1
+
+        def is_idle(self) -> bool:
+            return self.sent >= self.total
+
+    class Consumer(Module):
+        def __init__(self, fifo: FIFO) -> None:
+            super().__init__("consumer")
+            self.fifo = fifo
+            self.received = 0
+
+        def tick(self, cycle: int) -> None:
+            if self.fifo.can_pop():
+                self.fifo.pop()
+                self.received += 1
+                self.busy_cycles += 1
+
+    best_s = float("inf")
+    cycles = 0
+    for _ in range(repeat):
+        channel = FIFO("channel", depth=8)
+        producer = Producer(channel, events)
+        consumer = Consumer(channel)
+        sim = Simulator([producer, consumer], [channel])
+        t0 = time.perf_counter()
+        cycles = sim.run_until(lambda: consumer.received >= events)
+        best_s = min(best_s, time.perf_counter() - t0)
+    return {
+        "cycles_per_s": cycles / best_s,
+        "wall_s": best_s,
+        "cycles": cycles,
+    }
+
+
+_RUNNERS = {
+    "facade": _run_facade,
+    "cache-sim": _run_cache_sim,
+    "sim-tick": _run_sim_tick,
+}
+
+
+# -- gating -------------------------------------------------------------------
+
+
+def compare_runs(
+    current: dict, baseline: dict, tolerance: float
+) -> tuple[int, list[dict]]:
+    """Count gated comparisons and collect the regressions.
+
+    Only (workload, metric) pairs present in *both* runs are compared, so
+    a ``--quick`` run gates against the subset a full baseline shares
+    with it.
+    """
+    compared = 0
+    regressions: list[dict] = []
+    for key, metrics in current.items():
+        base = baseline.get(key)
+        if not isinstance(base, dict):
+            continue
+        for name in GATED_METRICS:
+            if name not in metrics or name not in base or base[name] <= 0:
+                continue
+            compared += 1
+            floor = base[name] * (1.0 - tolerance)
+            if metrics[name] < floor:
+                regressions.append(
+                    {
+                        "workload": key,
+                        "metric": name,
+                        "current": metrics[name],
+                        "baseline": base[name],
+                        "floor": floor,
+                    }
+                )
+    return compared, regressions
+
+
+def _load_baseline(path: Path) -> dict:
+    """Read a baseline file, with or without the artifact envelope."""
+    parsed = json.loads(path.read_text())
+    if isinstance(parsed, dict) and "format_version" in parsed:
+        parsed = read_json_artifact(path, kind="perf-gate")
+    workloads = parsed.get("workloads")
+    if not isinstance(workloads, dict):
+        raise ReproError(f"{path}: not a perfgate result (no 'workloads' map)")
+    return workloads
+
+
+def _next_sequence(out_dir: Path) -> int:
+    """The next ``BENCH_perf_<n>.json`` number in ``out_dir``."""
+    highest = 0
+    for existing in out_dir.glob("BENCH_perf_*.json"):
+        suffix = existing.stem.removeprefix("BENCH_perf_")
+        if suffix.isdigit():
+            highest = max(highest, int(suffix))
+    return highest + 1
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lightrw-bench perfgate",
+        description="Time the pinned workload matrix and gate against the "
+        "committed performance baseline.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="run the CI subset of the matrix with a single repeat",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline to gate against (default: ./{BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="record this run as the baseline instead of gating",
+    )
+    parser.add_argument(
+        "--out-dir", default=".",
+        help="directory for BENCH_perf_<n>.json (default: current directory)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="allowed fractional slowdown per gated metric "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=None, metavar="N",
+        help="best-of-N timing repeats (default: 3, or 2 with --quick)",
+    )
+    parser.add_argument(
+        "--workload", action="append", default=None, metavar="KEY",
+        help="run only workloads whose key contains KEY (repeatable)",
+    )
+    # Micro-override knobs so tests and constrained machines can shrink
+    # the matrix; overriding them makes absolute numbers incomparable to
+    # a baseline taken at the defaults (the keys stay the same).
+    parser.add_argument("--rmat-scale", type=int, default=15,
+                        help="cache-trace graph scale (default 15)")
+    parser.add_argument("--rmat-scale-run", type=int, default=12,
+                        help="facade-run graph scale (default 12)")
+    parser.add_argument("--queries", type=int, default=256)
+    parser.add_argument("--length", type=int, default=16)
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="sim-tick transfer count (default 200000)")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.tolerance < 0 or args.tolerance >= 1:
+        print(f"error: --tolerance must be in [0, 1), got {args.tolerance}",
+              file=sys.stderr)
+        return 2
+    repeat = args.repeat if args.repeat is not None else (2 if args.quick else 3)
+    if repeat < 1:
+        print(f"error: --repeat must be >= 1, got {repeat}", file=sys.stderr)
+        return 2
+
+    workloads = [w for w in default_workloads() if w.quick or not args.quick]
+    if args.workload:
+        workloads = [
+            w for w in workloads if any(k in w.key for k in args.workload)
+        ]
+    if not workloads:
+        print("error: no workloads selected", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    results: dict[str, dict] = {}
+    for workload in workloads:
+        metrics = _RUNNERS[workload.kind](workload, args, repeat)
+        results[workload.key] = metrics
+        shown = ", ".join(
+            f"{name}={metrics[name]:.4g}"
+            for name in GATED_METRICS
+            if name in metrics
+        )
+        print(f"{workload.key:<44} {shown}")
+    duration_s = time.perf_counter() - started
+
+    payload = {
+        "meta": {
+            "date": time.strftime("%Y-%m-%d"),
+            "command": "lightrw-bench perfgate"
+            + (" --quick" if args.quick else ""),
+            "quick": args.quick,
+            "repeat": repeat,
+            "tolerance": args.tolerance,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "params": {
+                "rmat_scale": args.rmat_scale,
+                "rmat_scale_run": args.rmat_scale_run,
+                "queries": args.queries,
+                "length": args.length,
+                "events": args.events,
+                "seed": args.seed,
+            },
+        },
+        "workloads": results,
+        "metrics": {
+            "perfgate.workloads": len(results),
+            "perfgate.duration_s": duration_s,
+        },
+    }
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    if args.write_baseline:
+        destination = out_dir / BASELINE_NAME
+        write_json_artifact(destination, payload, kind="perf-gate")
+        print(f"wrote baseline {destination} ({len(results)} workload(s), "
+              f"{duration_s:.1f}s)")
+        return 0
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(BASELINE_NAME)
+    if not baseline_path.is_file():
+        print(
+            f"error: baseline {baseline_path} not found; record one with "
+            f"'lightrw-bench perfgate --write-baseline'",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = _load_baseline(baseline_path)
+    except (ReproError, json.JSONDecodeError, OSError) as exc:
+        print(f"error: cannot read baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    compared, regressions = compare_runs(results, baseline, args.tolerance)
+    payload["metrics"]["perfgate.comparisons"] = compared
+    payload["metrics"]["perfgate.regressions"] = len(regressions)
+    if regressions:
+        payload["regressions"] = regressions
+
+    destination = out_dir / f"BENCH_perf_{_next_sequence(out_dir)}.json"
+    write_json_artifact(destination, payload, kind="perf-gate")
+    print(f"wrote {destination}")
+
+    if regressions:
+        for entry in regressions:
+            print(
+                f"REGRESSION {entry['workload']}.{entry['metric']}: "
+                f"{entry['current']:.4g} < floor {entry['floor']:.4g} "
+                f"(baseline {entry['baseline']:.4g}, "
+                f"tolerance {args.tolerance:.0%})",
+                file=sys.stderr,
+            )
+        print(
+            f"perfgate: {len(regressions)} of {compared} gated metric(s) "
+            f"regressed beyond {args.tolerance:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perfgate ok: {compared} gated metric(s) within {args.tolerance:.0%} "
+        f"of baseline ({duration_s:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

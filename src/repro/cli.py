@@ -44,7 +44,12 @@ from repro.obs import (
     summarize_records,
     write_chrome_trace,
 )
-from repro.runtime import InjectedFault, backend_names, describe_backends
+from repro.runtime import (
+    EXECUTION_MODES,
+    InjectedFault,
+    backend_names,
+    describe_backends,
+)
 from repro.walks.metapath import MetaPathWalk
 from repro.walks.node2vec import Node2VecWalk
 from repro.walks.static import StaticWalk
@@ -159,6 +164,7 @@ def cmd_walk(args: argparse.Namespace) -> int:
     result = engine.run(
         algorithm, args.length, starts=starts, max_sampled_queries=args.max_sampled,
         shards=args.shards, parallel=args.parallel,
+        mode=args.mode, workers=args.workers,
         trace=bool(args.trace_out),
         strict=not args.no_strict,
         retries=args.retries,
@@ -297,6 +303,17 @@ def build_parser() -> argparse.ArgumentParser:
     walk.add_argument(
         "--parallel", action="store_true",
         help="execute shards through a worker pool (thread-safe backends)",
+    )
+    walk.add_argument(
+        "--mode", choices=list(EXECUTION_MODES), default=None,
+        help="execution mode (overrides --parallel): 'process' fans shards "
+             "out to worker processes on process-safe backends; walks are "
+             "byte-identical in every mode",
+    )
+    walk.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker-pool width for the thread/process modes "
+             "(default: CPU count, clamped to the shard count)",
     )
     walk.add_argument(
         "--retries", type=int, default=0, metavar="N",

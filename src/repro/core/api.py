@@ -246,6 +246,8 @@ class LightRW:
         include_pcie: bool = True,
         shards: int = 1,
         parallel: bool = False,
+        mode: str | None = None,
+        workers: int | None = None,
         observer: Observer | None = None,
         trace: bool = False,
         strict: bool = True,
@@ -278,7 +280,16 @@ class LightRW:
             global query id); shard timings merge into one breakdown.
         parallel:
             Execute shards through a worker pool when the backend is
-            thread safe.
+            thread safe (shorthand for ``mode="thread"``).
+        mode:
+            Explicit execution mode: ``"sequential"``, ``"thread"`` or
+            ``"process"`` (overrides ``parallel``).  ``"process"`` fans
+            shards out to worker processes and requires a backend that
+            declares ``process_safe``; walks are byte-identical in every
+            mode.
+        workers:
+            Worker-pool width for the thread/process modes (defaults to
+            the CPU count, clamped to the shard count).
         observer:
             Telemetry sink for this run (overrides the engine-level
             observer).
@@ -331,6 +342,8 @@ class LightRW:
             return self._execute(
                 plan,
                 parallel=parallel,
+                mode=mode,
+                workers=workers,
                 strict=strict,
                 retry=retry
                 or RetryPolicy(
@@ -350,6 +363,8 @@ class LightRW:
         include_pcie: bool = True,
         shards: int = 1,
         parallel: bool = False,
+        mode: str | None = None,
+        workers: int | None = None,
         observer: Observer | None = None,
         strict: bool = True,
         retries: int = 0,
@@ -385,6 +400,8 @@ class LightRW:
             return self._execute(
                 plan,
                 parallel=parallel,
+                mode=mode,
+                workers=workers,
                 strict=strict,
                 retry=retry
                 or RetryPolicy(
@@ -435,6 +452,8 @@ class LightRW:
         plan: ExecutionPlan,
         parallel: bool = False,
         *,
+        mode: str | None = None,
+        workers: int | None = None,
         strict: bool = True,
         retry: RetryPolicy | None = None,
         faults: Sequence[InjectedFault] | None = None,
@@ -459,7 +478,11 @@ class LightRW:
         if faults:
             backend = FaultInjectionBackend(backend, faults)
         scheduler = BatchScheduler(
-            parallel=parallel, retry=retry or RetryPolicy(), strict=strict
+            parallel=parallel,
+            mode=mode,
+            max_workers=workers,
+            retry=retry or RetryPolicy(),
+            strict=strict,
         )
         outcome = scheduler.execute(backend, plan, checkpoint=checkpoint)
         return self._package(plan, outcome, strict=strict)

@@ -35,10 +35,10 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.fpga.burst import plan_bursts
 from repro.fpga.cache import (
-    FIFOCache,
-    LRUCache,
     simulate_degree_aware,
     simulate_direct_mapped,
+    simulate_fifo,
+    simulate_lru,
 )
 from repro.fpga.config import LightRWConfig
 from repro.fpga.wrs_sampler import WRSSamplerModel
@@ -104,12 +104,28 @@ class FPGATimeBreakdown:
 
     @property
     def bottleneck(self) -> str:
-        totals = {
-            "memory": float(self.mem_cycles.sum()),
-            "sampler": float(self.sampler_cycles.sum()),
-            "controller": float(self.controller_cycles.sum()),
+        """The resource binding the critical (kernel-setting) instance.
+
+        ``kernel_cycles`` is a per-instance max, so the batch is gated by
+        whichever resource dominates *that* instance — under skewed
+        instance loads the largest cross-instance sum can name a resource
+        that isn't on the critical path at all.
+        """
+        stacks = {
+            "memory": self.mem_cycles,
+            "sampler": self.sampler_cycles,
+            "controller": self.controller_cycles,
         }
-        return max(totals, key=totals.get)
+        if self.mem_cycles.size == 0:
+            return "memory"
+        if self.overlapped:
+            per_instance = np.maximum(
+                np.maximum(self.mem_cycles, self.sampler_cycles), self.controller_cycles
+            )
+        else:
+            per_instance = self.mem_cycles + self.sampler_cycles + self.controller_cycles
+        critical = int(np.argmax(per_instance))
+        return max(stacks, key=lambda name: float(stacks[name][critical]))
 
     @property
     def achieved_bandwidth_gbps(self) -> float:
@@ -171,11 +187,9 @@ class FPGAPerfModel:
             return simulate_degree_aware(trace, degrees, capacity)
         if policy == "direct":
             return simulate_direct_mapped(trace, capacity)
-        cache = LRUCache(capacity) if policy == "lru" else FIFOCache(capacity)
-        hits = np.zeros(trace.size, dtype=bool)
-        for i, vertex in enumerate(trace.tolist()):
-            hits[i] = cache.access(vertex, int(degrees[vertex]))
-        return hits
+        if policy == "lru":
+            return simulate_lru(trace, capacity, ways=4)
+        return simulate_fifo(trace, capacity, ways=4)
 
     # -- evaluation ----------------------------------------------------------
 

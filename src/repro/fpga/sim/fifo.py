@@ -64,17 +64,23 @@ class FIFO:
 
     def commit(self) -> None:
         """Make this cycle's pushes visible; called once per cycle."""
-        # Full for the whole cycle (producer blocked) with no pop to
-        # relieve it: that is one cycle of backpressure.  The cycle that
-        # *fills* the FIFO doesn't count — its push succeeded.
-        if len(self._queue) >= self.depth and not self._popped_this_cycle:
-            self.stalled_cycles += 1
         if self._pending:
+            # A successful push implies the queue was not full this
+            # cycle, so no backpressure to account for.
             self._queue.extend(self._pending)
             self._pending.clear()
+            self._popped_this_cycle = False
+            if len(self._queue) > self.max_occupancy:
+                self.max_occupancy = len(self._queue)
+            return
+        # No push this cycle: occupancy cannot grow, so only the
+        # backpressure counter and the popped flag can change.  Full for
+        # the whole cycle (producer blocked) with no pop to relieve it is
+        # one cycle of backpressure.  The cycle that *fills* the FIFO
+        # doesn't count — its push succeeded.
+        if len(self._queue) >= self.depth and not self._popped_this_cycle:
+            self.stalled_cycles += 1
         self._popped_this_cycle = False
-        if len(self._queue) > self.max_occupancy:
-            self.max_occupancy = len(self._queue)
 
     def __len__(self) -> int:
         return len(self._queue)

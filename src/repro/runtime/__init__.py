@@ -57,6 +57,7 @@ from repro.runtime.faults import (
 )
 from repro.runtime.plan import ExecutionPlan, QueryShard, plan_run
 from repro.runtime.scheduler import (
+    EXECUTION_MODES,
     BatchOutcome,
     BatchScheduler,
     RetryPolicy,
@@ -78,6 +79,7 @@ __all__ = [
     "BatchScheduler",
     "CPUBaselineBackend",
     "CPUBaselineBreakdown",
+    "EXECUTION_MODES",
     "ExecutionPlan",
     "FPGACycleBackend",
     "FPGACycleBreakdown",

@@ -72,6 +72,10 @@ class BackendCapabilities:
     deterministic_across_shards: bool = True
     #: Safe to execute shards concurrently from a thread pool?
     thread_safe: bool = True
+    #: Safe to execute shards in worker *processes*?  Requires the
+    #: backend, the plan and the shard reports to round-trip through
+    #: pickle; opt-in because custom backends may hold live handles.
+    process_safe: bool = False
     #: Does this backend pay the host<->device PCIe transfer?
     uses_pcie: bool = True
     #: Appear in engine-comparison benchmarks (fig14/15/16/17 style)?
@@ -265,6 +269,7 @@ class FPGAModelBackend(Backend):
         supports_latency=True,
         deterministic_across_shards=True,
         thread_safe=True,
+        process_safe=True,
         uses_pcie=True,
         compare_in_benchmarks=True,
     )
@@ -411,6 +416,7 @@ class CPUBaselineBackend(Backend):
         # global ids, so CPU walks are shard-invariant too.
         deterministic_across_shards=True,
         thread_safe=True,
+        process_safe=True,
         uses_pcie=False,
         compare_in_benchmarks=True,
     )

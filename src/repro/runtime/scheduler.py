@@ -1,12 +1,17 @@
 """Sharded batch scheduler: fault-isolated execution of a plan's shards.
 
 Large query batches are split into shards by the planner; the scheduler
-drives a backend over them — sequentially by default, or through a worker
-pool for backends whose execution is thread safe (the functional stepper
-releases the GIL inside its numpy kernels, so shards genuinely overlap).
-Shard reports always merge in shard order, so the merged paths/latencies
-are in global query-id order and the result is independent of worker
-scheduling.
+drives a backend over them in one of three execution modes — sequentially
+by default, through a thread pool for backends whose execution is thread
+safe (the functional stepper releases the GIL inside its numpy kernels,
+so shards genuinely overlap), or through a *process pool* for backends
+that declare ``process_safe``: each worker process materializes the
+pickled (backend, plan) payload once, executes shard attempts under its
+own observer, and ships the report plus exported metrics/spans back for
+the parent to merge.  Shard reports always merge in shard order, so the
+merged paths/latencies are in global query-id order and the result is
+independent of worker scheduling — and because per-query RNG is keyed by
+global query id, walks are byte-identical across all three modes.
 
 A failed shard never aborts its siblings.  Each shard runs under the
 scheduler's :class:`RetryPolicy` (attempt budget, exponential backoff
@@ -30,16 +35,20 @@ span, so degraded runs stay fully observable.
 from __future__ import annotations
 
 import logging
+import multiprocessing
 import os
+import pickle
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ConfigError, ShardExecutionError, ShardTimeoutError
 from repro.obs import (
+    Observer,
     current_observer,
     record_checkpoint,
     record_resumed_shard,
@@ -53,6 +62,9 @@ from repro.runtime.durability import RunCheckpoint
 from repro.runtime.plan import ExecutionPlan, QueryShard
 
 logger = logging.getLogger(__name__)
+
+#: Legal values of :attr:`BatchScheduler.mode`.
+EXECUTION_MODES = ("sequential", "thread", "process")
 
 _MASK64 = (1 << 64) - 1
 
@@ -177,6 +189,54 @@ class BatchOutcome:
         return not self.failures
 
 
+# -- process-mode worker protocol ---------------------------------------------
+#
+# A process-pool worker unpickles the (backend, plan) payload exactly once
+# (in its initializer) and then executes shard attempts against that
+# resident state, so per-attempt traffic is just two small integers out
+# and one shard report (plus the worker observer's exports) back.
+
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _process_worker_init(payload: bytes) -> None:
+    """Pool-worker initializer: materialize the run state once per worker."""
+    backend, plan, observed = pickle.loads(payload)
+    _WORKER_STATE["backend"] = backend
+    _WORKER_STATE["plan"] = plan
+    _WORKER_STATE["observed"] = observed
+
+
+def _process_worker_ready() -> bool:
+    """No-op warmup task: forces a worker process to spawn."""
+    return True
+
+
+def _process_shard_attempt(index: int, attempt: int):
+    """Execute one shard attempt inside a pool worker.
+
+    Returns ``(report, metric_state, span_records)``: the worker runs
+    under a fresh :class:`~repro.obs.Observer` and ships its exported
+    metrics and finished spans back for the parent to merge (the parent
+    owns ``record_shard`` — the worker never double-counts it).
+    """
+    backend = _WORKER_STATE["backend"]
+    plan = _WORKER_STATE["plan"]
+    shard = next(s for s in plan.shards if s.index == index)
+    # Stateful wrappers (fault injection) track attempts per shard; a
+    # retry may land on a worker that never saw the earlier attempts, so
+    # let the wrapper fast-forward its count to the scheduler's.
+    prime = getattr(backend, "prime_attempt", None)
+    if prime is not None:
+        prime(index, attempt)
+    if not _WORKER_STATE["observed"]:
+        return backend.execute(plan, shard), [], []
+    worker_obs = Observer()
+    with use_observer(worker_obs):
+        report = backend.execute(plan, shard)
+    return report, worker_obs.metrics.export_state(), worker_obs.spans.finished()
+
+
 def _call_with_timeout(call, timeout_s: float, shard: int, attempt: int):
     """Run ``call`` on a watchdog thread, abandoning it past ``timeout_s``.
 
@@ -218,7 +278,7 @@ class BatchScheduler:
     parallel:
         Execute shards through a thread pool when the backend declares
         ``thread_safe``.  Walks are identical either way (per-query RNG);
-        only wall-clock changes.
+        only wall-clock changes.  Shorthand for ``mode="thread"``.
     max_workers:
         Pool width; defaults to ``cpu_count`` and is always clamped to
         the shard count.  Zero or negative widths are a
@@ -231,18 +291,40 @@ class BatchScheduler:
         ``True`` raises :class:`~repro.errors.ShardExecutionError` on any
         shard failure; ``False`` merges the survivors into a partial
         result and reports the failures on the :class:`BatchOutcome`.
+    mode:
+        Explicit execution mode — ``"sequential"``, ``"thread"`` or
+        ``"process"`` — overriding ``parallel``.  ``"process"`` fans
+        shards out to a ``ProcessPoolExecutor`` and requires the backend
+        to declare ``process_safe`` (a :class:`~repro.errors.ConfigError`
+        otherwise); walks stay byte-identical because per-query RNG is
+        keyed by global query id, and each worker's metrics/spans are
+        merged back into the parent observer.  ``None`` (default) keeps
+        the historical behavior: ``"thread"`` when ``parallel`` else
+        ``"sequential"``.
     """
 
     parallel: bool = False
     max_workers: int | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     strict: bool = True
+    mode: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigError(
                 f"max_workers must be >= 1, got {self.max_workers}"
             )
+        if self.mode is not None and self.mode not in EXECUTION_MODES:
+            raise ConfigError(
+                f"mode must be one of {EXECUTION_MODES}, got {self.mode!r}"
+            )
+
+    @property
+    def resolved_mode(self) -> str:
+        """The effective execution mode (``mode`` over ``parallel``)."""
+        if self.mode is not None:
+            return self.mode
+        return "thread" if self.parallel else "sequential"
 
     def execute(
         self,
@@ -261,6 +343,12 @@ class BatchScheduler:
         shards = plan.shards
         if not shards:
             raise ValueError("plan has no shards to execute")
+        mode = self.resolved_mode
+        if mode == "process" and not backend.capabilities.process_safe:
+            raise ConfigError(
+                f"backend {backend.name!r} does not declare process_safe "
+                f"execution; use mode='thread' or mode='sequential'"
+            )
         obs = current_observer()
         policy = self.retry
 
@@ -282,8 +370,60 @@ class BatchScheduler:
                         record_resumed_shard(
                             obs.metrics, backend=backend.name, shard=index
                         )
+                        # Replay the restored report's counters so a
+                        # resumed run reports the same dac./dyb./pipeline.
+                        # totals as an uninterrupted one.
+                        record_shard(
+                            obs.metrics, restored[index].breakdown,
+                            backend=backend.name, shard=index,
+                        )
+
+        # Assigned a live pool for the duration of process-mode execution;
+        # attempt_shard dispatches on it at call time.
+        process_pool: ProcessPoolExecutor | None = None
+
+        def attempt_shard_process(shard: QueryShard, attempt: int) -> BackendReport:
+            # The attempt runs in a pool worker under its own observer;
+            # the parent opens the shard span, waits, then grafts the
+            # worker's spans under it and folds its metric deltas in.
+            with use_observer(obs), obs.span(
+                "shard", backend=backend.name, shard=shard.index,
+                queries=shard.num_queries, attempt=attempt, mode="process",
+            ) as shard_span:
+                future = process_pool.submit(
+                    _process_shard_attempt, shard.index, attempt
+                )
+                try:
+                    report, metric_state, span_records = future.result(
+                        timeout=policy.shard_timeout_s
+                    )
+                except FuturesTimeoutError:
+                    # The worker keeps running its stale attempt (process
+                    # tasks cannot be interrupted); the retry queues
+                    # behind it — the same trade-off as the thread path.
+                    future.cancel()
+                    raise ShardTimeoutError(
+                        f"shard {shard.index} attempt {attempt} exceeded the "
+                        f"{policy.shard_timeout_s:.3g}s shard timeout"
+                    ) from None
+                if obs.enabled:
+                    obs.metrics.merge_state(metric_state)
+                    obs.spans.adopt(
+                        span_records,
+                        parent_id=shard_span.span_id,
+                        offset_s=shard_span.start_s,
+                    )
+            if obs.enabled:
+                record_shard(
+                    obs.metrics, report.breakdown,
+                    backend=backend.name, shard=shard.index,
+                )
+            return report
 
         def attempt_shard(shard: QueryShard, attempt: int) -> BackendReport:
+            if process_pool is not None:
+                return attempt_shard_process(shard, attempt)
+
             def call() -> BackendReport:
                 # Worker threads start with a fresh context, so re-install
                 # the observer; spans opened by the backend then nest under
@@ -355,10 +495,52 @@ class BatchScheduler:
             return failure, policy.max_attempts
 
         pending = [shard for shard in shards if shard.index not in restored]
-        use_pool = (
-            self.parallel and len(pending) > 1 and backend.capabilities.thread_safe
-        )
-        if use_pool:
+        if mode == "process" and len(pending) > 1:
+            requested = self.max_workers or (os.cpu_count() or 1)
+            workers = min(requested, len(pending))
+            logger.debug(
+                "executing %d shard(s) on %s via %d process worker(s)",
+                len(pending), backend.name, workers,
+            )
+            if obs.enabled:
+                obs.metrics.gauge(
+                    "run.process_workers", backend=backend.name
+                ).set(workers)
+            payload = pickle.dumps((backend, plan, obs.enabled))
+            start_method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context(start_method),
+                initializer=_process_worker_init,
+                initargs=(payload,),
+            ) as pool:
+                # Spawn every worker from this thread before the retry
+                # coordinators start (forking from a multithreaded parent
+                # mid-run risks inheriting held locks).
+                for warmup in [
+                    pool.submit(_process_worker_ready) for _ in range(workers)
+                ]:
+                    warmup.result()
+                process_pool = pool
+                try:
+                    # Retry loops (backoff, checkpointing) stay on parent
+                    # threads — one per shard; the process pool bounds the
+                    # actual execution parallelism.
+                    with ThreadPoolExecutor(
+                        max_workers=len(pending)
+                    ) as coordinator:
+                        executed = list(coordinator.map(run_shard, pending))
+                finally:
+                    process_pool = None
+        elif (
+            mode == "thread"
+            and len(pending) > 1
+            and backend.capabilities.thread_safe
+        ):
             requested = self.max_workers or (os.cpu_count() or 1)
             workers = min(requested, len(pending))
             logger.debug(

@@ -308,6 +308,48 @@ class TestRunCheckpointResume:
         assert observer.metrics.total("run.resumed_shards") == 3
         assert observer.metrics.total("run.checkpoints") == 1  # only shard 2
 
+    def test_resume_replays_restored_shard_metrics(self, engine, starts, tmp_path):
+        """Restored shards re-emit their per-shard counters on restore, so
+        a resumed run's metric snapshot matches an uninterrupted run's."""
+        families = ("dac.", "dyb.", "dram.", "pipeline.", "cpu.", "time.", "query.")
+
+        def picked(observer):
+            return {
+                key: value
+                for key, value in observer.metrics.snapshot().items()
+                if key.startswith(families)
+            }
+
+        base_obs = Observer()
+        engine.run(UniformWalk(), 5, starts=starts, shards=4, observer=base_obs)
+        directory = tmp_path / "ck"
+        self._interrupt(engine, starts, directory)
+        resumed_obs = Observer()
+        engine.run(
+            UniformWalk(), 5, starts=starts, shards=4,
+            checkpoint_dir=directory, resume=True, observer=resumed_obs,
+        )
+        assert picked(base_obs) == picked(resumed_obs)
+        assert len(picked(base_obs)) > 0
+        assert resumed_obs.metrics.total("run.resumed_shards") == 3
+
+    def test_process_mode_resume_is_byte_identical(self, engine, starts, tmp_path):
+        baseline = engine.run(UniformWalk(), 5, starts=starts, shards=4)
+        directory = tmp_path / "ck"
+        with pytest.raises(ShardExecutionError):
+            engine.run(
+                UniformWalk(), 5, starts=starts, shards=4, mode="process",
+                checkpoint_dir=directory,
+                faults=[InjectedFault(shard=2, fail_attempts=-1)],
+            )
+        resumed = engine.run(
+            UniformWalk(), 5, starts=starts, shards=4, mode="process",
+            checkpoint_dir=directory, resume=True,
+        )
+        assert resumed.resumed_shards == 3
+        np.testing.assert_array_equal(resumed.paths, baseline.paths)
+        np.testing.assert_array_equal(resumed.lengths, baseline.lengths)
+
     def test_resumed_manifest_equivalent_modulo_timing(self, engine, starts, tmp_path):
         baseline = engine.run(UniformWalk(), 5, starts=starts, shards=4)
         directory = tmp_path / "ck"

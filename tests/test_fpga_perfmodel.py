@@ -7,7 +7,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.fpga.burst import FIXED_LONG, SHORT_ONLY
 from repro.fpga.config import LightRWConfig
-from repro.fpga.perfmodel import FPGAPerfModel
+from repro.fpga.perfmodel import FPGAPerfModel, FPGATimeBreakdown
 from repro.walks.node2vec import Node2VecWalk
 from repro.walks.stepper import PWRSSampler, run_walks
 from repro.walks.uniform import UniformWalk
@@ -171,3 +171,85 @@ class TestBottleneck:
     def test_tiny_k_shifts_bottleneck_to_sampler(self, session):
         breakdown = FPGAPerfModel(LightRWConfig(k=1), UniformWalk()).evaluate(session)
         assert breakdown.sampler_cycles.sum() > breakdown.controller_cycles.sum()
+
+    @staticmethod
+    def _breakdown(mem, sampler, controller, overlapped):
+        import numpy as np
+
+        return FPGATimeBreakdown(
+            config=LightRWConfig(),
+            algorithm="uniform",
+            total_steps=10,
+            num_queries=2,
+            mem_cycles=np.array(mem, dtype=np.float64),
+            sampler_cycles=np.array(sampler, dtype=np.float64),
+            controller_cycles=np.array(controller, dtype=np.float64),
+            fill_cycles=0.0,
+            overlapped=overlapped,
+            cache_accesses=0,
+            cache_hits=0,
+            bytes_valid=0,
+            bytes_loaded=0,
+        )
+
+    def test_skewed_instances_report_critical_resource(self):
+        """The bottleneck is the resource binding the kernel-setting instance.
+
+        Memory has the largest *cross-instance sum* here, but the instance
+        that sets ``kernel_cycles`` is sampler-bound — the old ``.sum()``
+        ranking reported "memory" for a batch gated by the sampler.
+        """
+        breakdown = self._breakdown(
+            mem=[95.0, 90.0], sampler=[100.0, 5.0], controller=[1.0, 1.0],
+            overlapped=True,
+        )
+        assert breakdown.kernel_cycles == 100.0
+        assert breakdown.bottleneck == "sampler"
+
+    def test_skewed_instances_serialized_stages(self):
+        """Same property for the WRS-off ablation (stages add, not max)."""
+        breakdown = self._breakdown(
+            mem=[50.0, 10.0], sampler=[10.0, 45.0], controller=[5.0, 44.0],
+            overlapped=False,
+        )
+        # Instance 1 (10 + 45 + 44 = 99) sets the kernel time and is
+        # sampler-bound, even though instance 0 is memory-bound and the
+        # cross-instance memory sum is the largest total.
+        assert breakdown.kernel_cycles == 99.0
+        assert breakdown.bottleneck == "sampler"
+
+
+class TestCacheFastPath:
+    """The vectorized LRU/FIFO path must not change any modeled number."""
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo"])
+    def test_identical_breakdown_to_reference_loop(self, session, policy):
+        import numpy as np
+
+        from repro.fpga.cache import FIFOCache, LRUCache
+
+        class ReferenceLoopModel(FPGAPerfModel):
+            """The pre-vectorization `_cache_hits`: one Python call per access."""
+
+            def _cache_hits(self, trace, degrees):
+                cache_cls = LRUCache if self.config.cache_policy == "lru" else FIFOCache
+                cache = cache_cls(self.config.scaled_cache_entries, ways=4)
+                hits = np.zeros(trace.size, dtype=bool)
+                for i, vertex in enumerate(trace.tolist()):
+                    hits[i] = cache.access(vertex, int(degrees[vertex]))
+                return hits
+
+        config = LightRWConfig(cache_policy=policy)
+        fast = FPGAPerfModel(config, UniformWalk()).evaluate(session)
+        slow = ReferenceLoopModel(config, UniformWalk()).evaluate(session)
+        assert fast.cache_hits == slow.cache_hits
+        assert fast.cache_accesses == slow.cache_accesses
+        assert fast.kernel_cycles == slow.kernel_cycles
+        np.testing.assert_array_equal(fast.mem_cycles, slow.mem_cycles)
+        np.testing.assert_array_equal(fast.sampler_cycles, slow.sampler_cycles)
+        np.testing.assert_array_equal(fast.controller_cycles, slow.controller_cycles)
+        np.testing.assert_array_equal(
+            fast.query_latency_cycles, slow.query_latency_cycles
+        )
+        assert fast.bytes_valid == slow.bytes_valid
+        assert fast.bytes_loaded == slow.bytes_loaded

@@ -1,0 +1,155 @@
+"""Performance regression gate: comparisons, sequencing, CLI round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.artifacts import read_json_artifact, write_json_artifact
+from repro.bench.perfgate import (
+    GATED_METRICS,
+    _next_sequence,
+    compare_runs,
+    default_workloads,
+)
+from repro.bench.perfgate import main as perfgate_main
+from repro.bench.runner import main as bench_main
+
+#: Shrunk matrix parameters so end-to-end runs stay sub-second.
+MICRO = [
+    "--rmat-scale", "8", "--rmat-scale-run", "8",
+    "--queries", "16", "--length", "4", "--events", "2000",
+]
+
+
+class TestCompareRuns:
+    def test_self_comparison_never_regresses(self):
+        current = {"w": {"steps_per_s": 100.0, "wall_s": 1.0}}
+        compared, regressions = compare_runs(current, current, 0.25)
+        assert compared == 1  # wall_s is not a gated metric
+        assert regressions == []
+
+    def test_regression_detected_beyond_tolerance(self):
+        baseline = {"w": {"speedup": 4.0}}
+        current = {"w": {"speedup": 2.9}}
+        compared, regressions = compare_runs(current, baseline, 0.25)
+        assert compared == 1
+        (entry,) = regressions
+        assert entry["workload"] == "w"
+        assert entry["metric"] == "speedup"
+        assert entry["floor"] == pytest.approx(3.0)
+
+    def test_within_tolerance_passes(self):
+        baseline = {"w": {"speedup": 4.0}}
+        current = {"w": {"speedup": 3.1}}
+        _, regressions = compare_runs(current, baseline, 0.25)
+        assert regressions == []
+
+    def test_faster_is_never_a_regression(self):
+        baseline = {"w": {name: 1.0 for name in GATED_METRICS}}
+        current = {"w": {name: 50.0 for name in GATED_METRICS}}
+        compared, regressions = compare_runs(current, baseline, 0.0)
+        assert compared == len(GATED_METRICS)
+        assert regressions == []
+
+    def test_only_shared_pairs_gate(self):
+        """--quick runs gate against the subset a full baseline shares."""
+        baseline = {"a": {"steps_per_s": 10.0}, "b": {"cycles_per_s": 5.0}}
+        current = {"a": {"steps_per_s": 10.0}, "c": {"cycles_per_s": 0.001}}
+        compared, regressions = compare_runs(current, baseline, 0.25)
+        assert compared == 1
+        assert regressions == []
+
+
+class TestWorkloadMatrix:
+    def test_keys_pinned_and_unique(self):
+        workloads = default_workloads()
+        keys = [w.key for w in workloads]
+        assert len(keys) == len(set(keys))
+        # backend x algorithm x mode matrix + cycle + 2 cache sims + sim-tick
+        assert len(workloads) == 16
+        assert "run:fpga-model:uniform:process" in keys
+        assert "run:fpga-cycle:uniform:sequential" in keys
+        assert "cache-sim-lru" in keys and "cache-sim-fifo" in keys
+
+    def test_quick_subset_is_a_proper_subset(self):
+        workloads = default_workloads()
+        quick = [w for w in workloads if w.quick]
+        assert 0 < len(quick) < len(workloads)
+        # The acceptance-critical cache ablation is always in the subset.
+        assert any(w.key == "cache-sim-lru" for w in quick)
+
+    def test_next_sequence_numbers_past_existing(self, tmp_path):
+        assert _next_sequence(tmp_path) == 1
+        (tmp_path / "BENCH_perf_1.json").write_text("{}")
+        (tmp_path / "BENCH_perf_7.json").write_text("{}")
+        (tmp_path / "BENCH_perf_baseline.json").write_text("{}")  # not a number
+        assert _next_sequence(tmp_path) == 8
+
+
+class TestCLI:
+    def test_write_then_gate_round_trip(self, tmp_path):
+        base_args = MICRO + [
+            "--out-dir", str(tmp_path), "--repeat", "1",
+            "--workload", "sim-tick",
+        ]
+        assert perfgate_main(base_args + ["--write-baseline"]) == 0
+        baseline_path = tmp_path / "BENCH_perf_baseline.json"
+        assert baseline_path.is_file()
+        rc = perfgate_main(
+            base_args + ["--baseline", str(baseline_path), "--tolerance", "0.9"]
+        )
+        assert rc == 0
+        saved = read_json_artifact(tmp_path / "BENCH_perf_1.json", kind="perf-gate")
+        assert saved["metrics"]["perfgate.regressions"] == 0
+        assert saved["metrics"]["perfgate.comparisons"] >= 1
+        assert saved["workloads"]["sim-tick"]["cycles_per_s"] > 0
+
+    def test_inflated_baseline_fails_the_gate(self, tmp_path):
+        base_args = MICRO + [
+            "--out-dir", str(tmp_path), "--repeat", "1",
+            "--workload", "sim-tick",
+        ]
+        assert perfgate_main(base_args + ["--write-baseline"]) == 0
+        baseline_path = tmp_path / "BENCH_perf_baseline.json"
+        doctored = read_json_artifact(baseline_path, kind="perf-gate")
+        doctored["workloads"]["sim-tick"]["cycles_per_s"] *= 100.0
+        write_json_artifact(baseline_path, doctored, kind="perf-gate")
+        rc = perfgate_main(base_args + ["--baseline", str(baseline_path)])
+        assert rc == 1
+        report = read_json_artifact(tmp_path / "BENCH_perf_1.json", kind="perf-gate")
+        assert report["metrics"]["perfgate.regressions"] >= 1
+        assert report["regressions"][0]["workload"] == "sim-tick"
+
+    def test_plain_json_baseline_supported(self, tmp_path):
+        baseline_path = tmp_path / "base.json"
+        baseline_path.write_text(
+            json.dumps({"workloads": {"sim-tick": {"cycles_per_s": 1.0}}})
+        )
+        rc = perfgate_main(
+            MICRO + [
+                "--out-dir", str(tmp_path), "--repeat", "1",
+                "--workload", "sim-tick", "--baseline", str(baseline_path),
+            ]
+        )
+        assert rc == 0
+
+    def test_missing_baseline_is_a_config_error(self, tmp_path):
+        rc = perfgate_main(
+            MICRO + [
+                "--out-dir", str(tmp_path), "--repeat", "1",
+                "--workload", "sim-tick",
+                "--baseline", str(tmp_path / "absent.json"),
+            ]
+        )
+        assert rc == 2
+
+    def test_bad_flags_rejected(self, tmp_path):
+        assert perfgate_main(["--tolerance", "1.5"]) == 2
+        assert perfgate_main(["--repeat", "0"]) == 2
+        assert perfgate_main(["--workload", "no-such-key"]) == 2
+
+    def test_bench_runner_dispatches_subcommand(self):
+        """`lightrw-bench perfgate ...` reaches the perfgate parser."""
+        assert bench_main(["perfgate", "--workload", "no-such-key"]) == 2
